@@ -1,0 +1,233 @@
+//! Shared preparation of the plane-sweep inputs for the baselines.
+//!
+//! Both baselines sweep the *transformed* rectangles (one per object, centered
+//! at it) bottom-to-top.  The preparation step turns the object file into
+//!
+//! * a y-sorted file of [`EventRecord`]s (two per rectangle: bottom edge adds
+//!   the weight over the rectangle's x-range, top edge removes it), and
+//! * the x-sorted, deduplicated list of vertical boundaries stored as a file
+//!   of [`StatusRecord`]s — the elementary x-intervals whose counts the sweep
+//!   status maintains.
+
+use maxrs_core::{transform_to_rect_file, ObjectRecord};
+use maxrs_em::{codec, external_sort_by_key, EmContext, Record, TupleFile};
+use maxrs_geometry::RectSize;
+
+use maxrs_core::Result;
+
+/// A sweep event: at `y`, add `delta` (positive for bottom edges, negative for
+/// top edges) to every elementary interval overlapping `[x_lo, x_hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRecord {
+    /// y-coordinate of the horizontal edge.
+    pub y: f64,
+    /// Left end of the rectangle's x-range.
+    pub x_lo: f64,
+    /// Right end of the rectangle's x-range.
+    pub x_hi: f64,
+    /// Signed weight contribution.
+    pub delta: f64,
+}
+
+impl Record for EventRecord {
+    const SIZE: usize = 32;
+    fn encode(&self, buf: &mut [u8]) {
+        codec::put_f64(buf, 0, self.y);
+        codec::put_f64(buf, 8, self.x_lo);
+        codec::put_f64(buf, 16, self.x_hi);
+        codec::put_f64(buf, 24, self.delta);
+    }
+    fn decode(buf: &[u8]) -> Self {
+        EventRecord {
+            y: codec::get_f64(buf, 0),
+            x_lo: codec::get_f64(buf, 8),
+            x_hi: codec::get_f64(buf, 16),
+            delta: codec::get_f64(buf, 24),
+        }
+    }
+}
+
+/// One elementary x-interval of the sweep status together with its current
+/// location-weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusRecord {
+    /// Left boundary of the elementary interval.
+    pub x_lo: f64,
+    /// Right boundary of the elementary interval.
+    pub x_hi: f64,
+    /// Current total weight of the rectangles covering the interval.
+    pub sum: f64,
+}
+
+impl Record for StatusRecord {
+    const SIZE: usize = 24;
+    fn encode(&self, buf: &mut [u8]) {
+        codec::put_f64(buf, 0, self.x_lo);
+        codec::put_f64(buf, 8, self.x_hi);
+        codec::put_f64(buf, 16, self.sum);
+    }
+    fn decode(buf: &[u8]) -> Self {
+        StatusRecord {
+            x_lo: codec::get_f64(buf, 0),
+            x_hi: codec::get_f64(buf, 8),
+            sum: codec::get_f64(buf, 16),
+        }
+    }
+}
+
+/// The prepared inputs of an externalized plane sweep.
+#[derive(Debug)]
+pub struct SweepInputs {
+    /// Events sorted by ascending y.
+    pub events: TupleFile<EventRecord>,
+    /// Initial status file: every elementary interval with weight 0, sorted by x.
+    pub status: TupleFile<StatusRecord>,
+    /// Number of elementary intervals (status records).
+    pub num_intervals: u64,
+}
+
+/// Builds the sweep inputs from an object file: transform to rectangles, emit
+/// and sort the edge events, and derive the elementary intervals from the
+/// sorted vertical boundaries.
+pub fn prepare_sweep_inputs(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+) -> Result<SweepInputs> {
+    // Transform objects into rectangles (same step as ExactMaxRS).
+    let rects = transform_to_rect_file(ctx, objects, size)?;
+
+    // Emit one event per horizontal edge and one boundary per vertical edge.
+    let mut event_writer = ctx.create_writer::<EventRecord>()?;
+    let mut boundary_writer = ctx.create_writer::<f64>()?;
+    {
+        let mut reader = ctx.open_reader(&rects);
+        while let Some(r) = reader.next_record()? {
+            event_writer.push(&EventRecord {
+                y: r.rect.y_lo,
+                x_lo: r.rect.x_lo,
+                x_hi: r.rect.x_hi,
+                delta: r.weight,
+            })?;
+            event_writer.push(&EventRecord {
+                y: r.rect.y_hi,
+                x_lo: r.rect.x_lo,
+                x_hi: r.rect.x_hi,
+                delta: -r.weight,
+            })?;
+            boundary_writer.push(&r.rect.x_lo)?;
+            boundary_writer.push(&r.rect.x_hi)?;
+        }
+    }
+    ctx.delete_file(rects)?;
+    let events_unsorted = event_writer.finish()?;
+    let boundaries_unsorted = boundary_writer.finish()?;
+
+    // Sort events by y.
+    let events = external_sort_by_key(ctx, &events_unsorted, |e| e.y)?;
+    ctx.delete_file(events_unsorted)?;
+
+    // Sort boundaries by x and turn consecutive distinct values into
+    // elementary intervals.
+    let boundaries = external_sort_by_key(ctx, &boundaries_unsorted, |x| *x)?;
+    ctx.delete_file(boundaries_unsorted)?;
+    let mut status_writer = ctx.create_writer::<StatusRecord>()?;
+    {
+        let mut reader = ctx.open_reader(&boundaries);
+        let mut prev: Option<f64> = None;
+        while let Some(x) = reader.next_record()? {
+            if let Some(p) = prev {
+                if x > p {
+                    status_writer.push(&StatusRecord {
+                        x_lo: p,
+                        x_hi: x,
+                        sum: 0.0,
+                    })?;
+                }
+            }
+            if prev != Some(x) {
+                prev = Some(x);
+            }
+        }
+    }
+    ctx.delete_file(boundaries)?;
+    let status = status_writer.finish()?;
+    let num_intervals = status.len();
+
+    Ok(SweepInputs {
+        events,
+        status,
+        num_intervals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxrs_core::load_objects;
+    use maxrs_em::EmConfig;
+    use maxrs_geometry::WeightedPoint;
+
+    fn ctx() -> EmContext {
+        EmContext::new(EmConfig::new(512, 8 * 512).unwrap())
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let mut buf = vec![0u8; EventRecord::SIZE];
+        let e = EventRecord {
+            y: 1.5,
+            x_lo: -2.0,
+            x_hi: 3.0,
+            delta: -4.5,
+        };
+        e.encode(&mut buf);
+        assert_eq!(EventRecord::decode(&buf), e);
+
+        let mut buf = vec![0u8; StatusRecord::SIZE];
+        let s = StatusRecord {
+            x_lo: 0.0,
+            x_hi: 7.0,
+            sum: 2.5,
+        };
+        s.encode(&mut buf);
+        assert_eq!(StatusRecord::decode(&buf), s);
+    }
+
+    #[test]
+    fn prepared_inputs_have_expected_shape() {
+        let ctx = ctx();
+        let objects = vec![
+            WeightedPoint::unit(10.0, 10.0),
+            WeightedPoint::unit(11.0, 11.0),
+            WeightedPoint::unit(30.0, 30.0),
+        ];
+        let file = load_objects(&ctx, &objects).unwrap();
+        let inputs = prepare_sweep_inputs(&ctx, &file, RectSize::square(4.0)).unwrap();
+
+        // Two events per object, sorted by y.
+        assert_eq!(inputs.events.len(), 6);
+        let events = ctx.read_all(&inputs.events).unwrap();
+        assert!(events.windows(2).all(|w| w[0].y <= w[1].y));
+        assert_eq!(events.iter().filter(|e| e.delta > 0.0).count(), 3);
+
+        // At most 2N-1 elementary intervals, contiguous and sorted.
+        let status = ctx.read_all(&inputs.status).unwrap();
+        assert_eq!(status.len() as u64, inputs.num_intervals);
+        assert!(status.len() <= 2 * objects.len() - 1);
+        assert!(status.windows(2).all(|w| w[0].x_hi == w[1].x_lo));
+        assert!(status.iter().all(|s| s.sum == 0.0 && s.x_lo < s.x_hi));
+    }
+
+    #[test]
+    fn duplicate_coordinates_collapse_intervals() {
+        let ctx = ctx();
+        let objects: Vec<WeightedPoint> =
+            (0..10).map(|_| WeightedPoint::unit(5.0, 5.0)).collect();
+        let file = load_objects(&ctx, &objects).unwrap();
+        let inputs = prepare_sweep_inputs(&ctx, &file, RectSize::square(2.0)).unwrap();
+        // All rectangles coincide: a single elementary interval remains.
+        assert_eq!(inputs.num_intervals, 1);
+        assert_eq!(inputs.events.len(), 20);
+    }
+}

@@ -1,0 +1,70 @@
+//! Externalized plane-sweep baselines for the MaxRS problem.
+//!
+//! The paper compares ExactMaxRS against two adaptations of the classic
+//! in-memory plane sweep to external memory, both taken from Du et al.'s
+//! optimal-location work (Section 7.1):
+//!
+//! * [`naive_sweep`] — **Naïve Plane Sweep**: the sweep status (the counts of
+//!   all `2N` elementary x-intervals) lives in a flat disk file that is
+//!   re-scanned and rewritten for every sweep event, costing `Θ(N²/B)` I/Os.
+//! * [`asb_tree_sweep`] — **aSB-tree**: the status is an external aggregate
+//!   tree over the sorted x-boundaries; every event updates one root-to-leaf
+//!   path, costing `O(N log_B N)` I/Os of which only the uncached node
+//!   accesses reach the disk.
+//!
+//! Both baselines produce exactly the same answer as
+//! [`maxrs_core::exact_max_rs`]; only their I/O behaviour differs — which is
+//! precisely what Figures 12–16 of the paper measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asb;
+mod events;
+mod naive;
+
+pub use asb::{asb_tree_sweep, AsbTreeStats};
+pub use events::{prepare_sweep_inputs, EventRecord, StatusRecord, SweepInputs};
+pub use naive::naive_sweep;
+
+/// Identifies one of the competing MaxRS algorithms in experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Naïve externalized plane sweep.
+    NaiveSweep,
+    /// External aggregate SB-tree plane sweep.
+    AsbTree,
+    /// The paper's ExactMaxRS distribution sweep.
+    ExactMaxRs,
+}
+
+impl Algorithm {
+    /// All algorithms in the order the paper's figures list them.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::NaiveSweep,
+        Algorithm::AsbTree,
+        Algorithm::ExactMaxRs,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::NaiveSweep => "Naive",
+            Algorithm::AsbTree => "aSB-Tree",
+            Algorithm::ExactMaxRs => "ExactMaxRS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::NaiveSweep.name(), "Naive");
+        assert_eq!(Algorithm::AsbTree.name(), "aSB-Tree");
+        assert_eq!(Algorithm::ExactMaxRs.name(), "ExactMaxRS");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! The Naïve externalized plane sweep (the "Naive" curve of Figures 12–16).
+//!
+//! The sweep status — the location-weight of every elementary x-interval — is
+//! kept in a flat file on disk.  For every distinct event y the whole status
+//! file is read, the intervals overlapped by the rectangles starting or ending
+//! at that y are updated, and the file is written back, while the running
+//! maximum is tracked on the fly.  With `Θ(N)` events and `Θ(N/B)` blocks per
+//! pass this costs `Θ(N²/B)` I/Os — the quadratic behaviour the paper's
+//! ExactMaxRS eliminates.
+
+use maxrs_core::{MaxRsResult, ObjectRecord, Result};
+use maxrs_em::{EmContext, TupleFile};
+use maxrs_geometry::{Point, Rect, RectSize};
+
+use crate::events::{prepare_sweep_inputs, EventRecord, StatusRecord};
+
+/// Solves MaxRS with the naïve externalized plane sweep.  Produces exactly the
+/// same answer as [`maxrs_core::exact_max_rs`], at a vastly higher I/O cost.
+pub fn naive_sweep(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+) -> Result<MaxRsResult> {
+    if objects.is_empty() {
+        return Ok(MaxRsResult::empty());
+    }
+    let inputs = prepare_sweep_inputs(ctx, objects, size)?;
+    let mut status = inputs.status;
+    let mut events = ctx.open_reader(&inputs.events);
+
+    let mut best_sum = 0.0f64;
+    let mut best_interval: Option<(f64, f64)> = None;
+    let mut best_y = f64::NEG_INFINITY;
+    let mut best_next_y: Option<f64> = None;
+    let mut awaiting_next = false;
+
+    // Group events with equal y so that the status is rescanned once per
+    // distinct h-line (matching the in-memory sweep's event granularity).
+    let mut pending: Vec<EventRecord> = Vec::new();
+    loop {
+        pending.clear();
+        let y = match events.peek()? {
+            Some(e) => e.y,
+            None => break,
+        };
+        while let Some(e) = events.peek()? {
+            if e.y > y {
+                break;
+            }
+            pending.push(events.next_record()?.expect("peeked event"));
+        }
+
+        if awaiting_next {
+            best_next_y = Some(y);
+            awaiting_next = false;
+        }
+
+        // One full pass over the status file: apply the pending deltas and
+        // track the maximum interval after this h-line.
+        let mut reader = ctx.open_reader(&status);
+        let mut writer = ctx.create_writer::<StatusRecord>()?;
+        let mut pass_best = f64::NEG_INFINITY;
+        let mut pass_interval = (f64::NEG_INFINITY, f64::INFINITY);
+        while let Some(mut rec) = reader.next_record()? {
+            for e in &pending {
+                // Closed/open subtleties do not matter here: elementary
+                // intervals never straddle a rectangle edge, they only touch.
+                if e.x_lo <= rec.x_lo && rec.x_hi <= e.x_hi {
+                    rec.sum += e.delta;
+                }
+            }
+            if rec.sum > pass_best {
+                pass_best = rec.sum;
+                pass_interval = (rec.x_lo, rec.x_hi);
+            }
+            writer.push(&rec)?;
+        }
+        let new_status = writer.finish()?;
+        ctx.delete_file(status)?;
+        status = new_status;
+
+        if pass_best > best_sum {
+            best_sum = pass_best;
+            best_interval = Some(pass_interval);
+            best_y = y;
+            best_next_y = None;
+            awaiting_next = true;
+        }
+    }
+
+    ctx.delete_file(status)?;
+    ctx.delete_file(inputs.events)?;
+
+    let (x_lo, x_hi) = match best_interval {
+        Some(iv) => iv,
+        None => return Ok(MaxRsResult::empty()),
+    };
+    let y_hi = best_next_y.filter(|&y| y > best_y).unwrap_or(best_y + 1.0);
+    let region = Rect::new(x_lo, x_hi, best_y, y_hi);
+    Ok(MaxRsResult {
+        center: Point::new((x_lo + x_hi) / 2.0, (best_y + y_hi) / 2.0),
+        total_weight: best_sum,
+        region,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxrs_core::{load_objects, max_rs_in_memory, rect_objective};
+    use maxrs_em::EmConfig;
+    use maxrs_geometry::WeightedPoint;
+
+    fn ctx() -> EmContext {
+        EmContext::new(EmConfig::new(512, 8 * 512).unwrap())
+    }
+
+    fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 3.0).floor()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let ctx = ctx();
+        let empty = load_objects(&ctx, &[]).unwrap();
+        assert_eq!(
+            naive_sweep(&ctx, &empty, RectSize::square(2.0)).unwrap().total_weight,
+            0.0
+        );
+        let single = load_objects(&ctx, &[WeightedPoint::at(5.0, 5.0, 3.0)]).unwrap();
+        let r = naive_sweep(&ctx, &single, RectSize::square(2.0)).unwrap();
+        assert_eq!(r.total_weight, 3.0);
+    }
+
+    #[test]
+    fn matches_the_in_memory_sweep() {
+        let ctx = ctx();
+        for seed in [2u64, 9, 31] {
+            let objects = pseudo_random_objects(120, seed, 300.0);
+            let file = load_objects(&ctx, &objects).unwrap();
+            for side in [20.0, 60.0] {
+                let size = RectSize::square(side);
+                let naive = naive_sweep(&ctx, &file, size).unwrap();
+                let reference = max_rs_in_memory(&objects, size);
+                assert_eq!(naive.total_weight, reference.total_weight, "seed={seed} side={side}");
+                assert_eq!(
+                    rect_objective(&objects, naive.center, size),
+                    naive.total_weight,
+                    "seed={seed} side={side}"
+                );
+            }
+            ctx.delete_file(file).unwrap();
+        }
+    }
+
+    #[test]
+    fn io_cost_is_quadratic_in_spirit() {
+        // Doubling the input size should roughly quadruple the I/O cost.
+        let ctx_small = ctx();
+        let ctx_large = ctx();
+        let small = pseudo_random_objects(100, 4, 1000.0);
+        let large = pseudo_random_objects(200, 4, 1000.0);
+        let size = RectSize::square(50.0);
+
+        let f_small = load_objects(&ctx_small, &small).unwrap();
+        ctx_small.reset_stats();
+        naive_sweep(&ctx_small, &f_small, size).unwrap();
+        let io_small = ctx_small.stats().total();
+
+        let f_large = load_objects(&ctx_large, &large).unwrap();
+        ctx_large.reset_stats();
+        naive_sweep(&ctx_large, &f_large, size).unwrap();
+        let io_large = ctx_large.stats().total();
+
+        assert!(io_small > 0);
+        let growth = io_large as f64 / io_small as f64;
+        assert!(
+            growth > 2.5,
+            "naive I/O grew only {growth:.2}x when the input doubled ({io_small} -> {io_large})"
+        );
+    }
+
+    #[test]
+    fn cleans_up_temporary_files(){
+        let ctx = ctx();
+        let objects = pseudo_random_objects(80, 6, 500.0);
+        let file = load_objects(&ctx, &objects).unwrap();
+        let before = ctx.disk_blocks();
+        naive_sweep(&ctx, &file, RectSize::square(30.0)).unwrap();
+        // Everything except (at most) the input object file's blocks is gone.
+        assert!(ctx.disk_blocks() <= before.max(ctx.config().blocks_for::<ObjectRecord>(file.len())));
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-checks of the two baselines against each other and against the core
+//! algorithms on weighted and skewed workloads, plus buffer-sensitivity
+//! checks that mirror the qualitative claims of Figures 13 and 15.
+
+use maxrs_baselines::{asb_tree_sweep, naive_sweep};
+use maxrs_core::{exact_max_rs, load_objects, max_rs_in_memory, ExactMaxRsOptions};
+use maxrs_datagen::{Dataset, DatasetKind, WeightMode};
+use maxrs_em::{EmConfig, EmContext};
+use maxrs_geometry::RectSize;
+
+/// Weighted, skewed data: all four implementations agree (within float
+/// accumulation noise, since weights are arbitrary floats).
+#[test]
+fn weighted_skewed_agreement() {
+    let ds = Dataset::generate_weighted(
+        DatasetKind::Ne,
+        500,
+        13,
+        WeightMode::UniformRandom { max: 7.0 },
+    );
+    let size = RectSize::square(60_000.0);
+    let reference = max_rs_in_memory(&ds.objects, size);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+
+    let ctx = EmContext::new(EmConfig::new(4096, 8 * 4096).unwrap());
+    let file = load_objects(&ctx, &ds.objects).unwrap();
+    let naive = naive_sweep(&ctx, &file, size).unwrap();
+    let asb = asb_tree_sweep(&ctx, &file, size).unwrap();
+    let exact = exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::default()).unwrap();
+
+    assert!(close(naive.total_weight, reference.total_weight));
+    assert!(close(asb.total_weight, reference.total_weight));
+    assert!(close(exact.total_weight, reference.total_weight));
+    assert!(reference.total_weight > 0.0);
+}
+
+/// Growing the buffer can only help (or leave unchanged) each algorithm's I/O,
+/// and once the whole working set fits, the naive sweep stops paying per-event
+/// I/O — the effect behind Figure 15(a) where Naive wins on the small UX
+/// dataset with a large buffer.
+#[test]
+fn buffer_growth_reduces_io_and_lets_small_data_fit() {
+    let ds = Dataset::generate(DatasetKind::Ux, 400, 3);
+    let size = RectSize::square(1000.0);
+
+    let run_naive = |buffer_blocks: usize| {
+        let ctx = EmContext::new(EmConfig::new(4096, buffer_blocks * 4096).unwrap());
+        let file = load_objects(&ctx, &ds.objects).unwrap();
+        ctx.reset_stats();
+        naive_sweep(&ctx, &file, size).unwrap();
+        ctx.stats().total()
+    };
+    let small = run_naive(4);
+    let medium = run_naive(16);
+    let huge = run_naive(1024); // 4 MB buffer: everything fits
+    assert!(medium <= small, "more buffer must not increase naive I/O ({medium} > {small})");
+    assert!(huge <= medium);
+    assert!(
+        huge < small / 10,
+        "with the dataset fully cached the naive sweep should do almost no I/O ({huge} vs {small})"
+    );
+
+    let run_asb = |buffer_blocks: usize| {
+        let ctx = EmContext::new(EmConfig::new(4096, buffer_blocks * 4096).unwrap());
+        let file = load_objects(&ctx, &ds.objects).unwrap();
+        ctx.reset_stats();
+        asb_tree_sweep(&ctx, &file, size).unwrap();
+        ctx.stats().total()
+    };
+    let asb_small = run_asb(4);
+    let asb_huge = run_asb(1024);
+    assert!(asb_huge <= asb_small);
+}
+
+/// Query-range growth increases the baselines' work (more overlapping
+/// intervals per event) much faster than ExactMaxRS's — the Figure 14 effect.
+#[test]
+fn range_growth_hurts_baselines_more() {
+    let ds = Dataset::generate(DatasetKind::Uniform, 800, 8);
+    let config = EmConfig::new(4096, 8 * 4096).unwrap();
+
+    let io_of = |algo: &str, range: f64| {
+        let ctx = EmContext::new(config);
+        let file = load_objects(&ctx, &ds.objects).unwrap();
+        ctx.reset_stats();
+        match algo {
+            "asb" => {
+                asb_tree_sweep(&ctx, &file, RectSize::square(range)).unwrap();
+            }
+            _ => {
+                exact_max_rs(&ctx, &file, RectSize::square(range), &ExactMaxRsOptions::default())
+                    .unwrap();
+            }
+        }
+        ctx.stats().total() as f64
+    };
+
+    let exact_growth = io_of("exact", 100_000.0) / io_of("exact", 1000.0);
+    let asb_growth = io_of("asb", 100_000.0) / io_of("asb", 1000.0);
+    assert!(
+        exact_growth < asb_growth * 1.5,
+        "ExactMaxRS should be less sensitive to the range size \
+         (exact grew {exact_growth:.2}x, aSB {asb_growth:.2}x)"
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 12 (reduced): wall-clock and I/O of the three algorithms as the
+//! dataset cardinality grows.  The full paper-scale sweep is produced by the
+//! `experiments` binary; this bench tracks regressions at a small fixed size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxrs_baselines::Algorithm;
+use maxrs_bench::runner::run_algorithm;
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_em::EmConfig;
+use maxrs_geometry::RectSize;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let config = EmConfig::new(4096, 16 * 4096).unwrap();
+    let size = RectSize::square(1000.0);
+    let mut group = c.benchmark_group("fig12_cardinality");
+    group.sample_size(10);
+
+    for &n in &[1000usize, 2000, 4000] {
+        let dataset = Dataset::generate(DatasetKind::Gaussian, n, 42);
+        for algorithm in [Algorithm::ExactMaxRs, Algorithm::AsbTree] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), n),
+                &dataset,
+                |b, ds| {
+                    b.iter(|| run_algorithm(algorithm, config, &ds.objects, size).unwrap());
+                },
+            );
+        }
+        // The quadratic Naive baseline only at the smallest size.
+        if n == 1000 {
+            group.bench_with_input(BenchmarkId::new("Naive", n), &dataset, |b, ds| {
+                b.iter(|| run_algorithm(Algorithm::NaiveSweep, config, &ds.objects, size).unwrap());
+            });
+        }
+    }
+    group.finish();
+
+    // Print the I/O counts once so `cargo bench` output shows the figure shape.
+    for &n in &[1000usize, 2000, 4000] {
+        let dataset = Dataset::generate(DatasetKind::Gaussian, n, 42);
+        let exact = run_algorithm(Algorithm::ExactMaxRs, config, &dataset.objects, size).unwrap();
+        let asb = run_algorithm(Algorithm::AsbTree, config, &dataset.objects, size).unwrap();
+        println!(
+            "fig12 (reduced) n={n}: ExactMaxRS {} I/Os, aSB-Tree {} I/Os",
+            exact.io.total(),
+            asb.io.total()
+        );
+    }
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

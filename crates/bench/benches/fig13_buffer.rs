@@ -1,0 +1,43 @@
+//! Figure 13 (reduced): sensitivity of ExactMaxRS and the aSB-tree to the
+//! buffer size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxrs_baselines::Algorithm;
+use maxrs_bench::runner::run_algorithm;
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_em::EmConfig;
+use maxrs_geometry::RectSize;
+
+fn bench_buffer(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Uniform, 3000, 7);
+    let size = RectSize::square(1000.0);
+    let mut group = c.benchmark_group("fig13_buffer");
+    group.sample_size(10);
+
+    for &buffer_blocks in &[8usize, 16, 32, 64] {
+        let config = EmConfig::new(4096, buffer_blocks * 4096).unwrap();
+        for algorithm in [Algorithm::ExactMaxRs, Algorithm::AsbTree] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), buffer_blocks * 4),
+                &dataset,
+                |b, ds| {
+                    b.iter(|| run_algorithm(algorithm, config, &ds.objects, size).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+
+    for &buffer_blocks in &[8usize, 16, 32, 64] {
+        let config = EmConfig::new(4096, buffer_blocks * 4096).unwrap();
+        let exact = run_algorithm(Algorithm::ExactMaxRs, config, &dataset.objects, size).unwrap();
+        println!(
+            "fig13 (reduced) buffer={}KB: ExactMaxRS {} I/Os",
+            buffer_blocks * 4,
+            exact.io.total()
+        );
+    }
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 14 (reduced): sensitivity to the query range size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxrs_baselines::Algorithm;
+use maxrs_bench::runner::run_algorithm;
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_em::EmConfig;
+use maxrs_geometry::RectSize;
+
+fn bench_range(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Gaussian, 3000, 11);
+    let config = EmConfig::new(4096, 16 * 4096).unwrap();
+    let mut group = c.benchmark_group("fig14_range");
+    group.sample_size(10);
+
+    for &range in &[1000.0f64, 5000.0, 10000.0] {
+        let size = RectSize::square(range);
+        for algorithm in [Algorithm::ExactMaxRs, Algorithm::AsbTree] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), range as u64),
+                &dataset,
+                |b, ds| {
+                    b.iter(|| run_algorithm(algorithm, config, &ds.objects, size).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+
+    for &range in &[1000.0f64, 5000.0, 10000.0] {
+        let size = RectSize::square(range);
+        let exact = run_algorithm(Algorithm::ExactMaxRs, config, &dataset.objects, size).unwrap();
+        let asb = run_algorithm(Algorithm::AsbTree, config, &dataset.objects, size).unwrap();
+        println!(
+            "fig14 (reduced) range={range}: ExactMaxRS {} I/Os, aSB-Tree {} I/Os",
+            exact.io.total(),
+            asb.io.total()
+        );
+    }
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

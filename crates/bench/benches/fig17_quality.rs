@@ -1,0 +1,63 @@
+//! Figure 17 (reduced): runtime of ApproxMaxCRS and of the exact MaxCRS
+//! reference, plus a one-shot print of the measured approximation ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxrs_core::{approx_max_crs_from_objects, exact_max_crs_in_memory, ApproxMaxCrsOptions};
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_em::{EmConfig, EmContext};
+
+fn bench_quality(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Uniform, 3000, 5);
+    let mut group = c.benchmark_group("fig17_quality");
+    group.sample_size(10);
+
+    for &diameter in &[1000.0f64, 5000.0, 10000.0] {
+        group.bench_with_input(
+            BenchmarkId::new("ApproxMaxCRS", diameter as u64),
+            &dataset,
+            |b, ds| {
+                b.iter(|| {
+                    let ctx = EmContext::new(EmConfig::new(4096, 16 * 4096).unwrap());
+                    approx_max_crs_from_objects(
+                        &ctx,
+                        &ds.objects,
+                        diameter,
+                        &ApproxMaxCrsOptions::default(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ExactMaxCRS", diameter as u64),
+            &dataset,
+            |b, ds| {
+                b.iter(|| exact_max_crs_in_memory(&ds.objects, diameter));
+            },
+        );
+    }
+    group.finish();
+
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, 3000, 5);
+        for &diameter in &[1000.0f64, 5000.0, 10000.0] {
+            let ctx = EmContext::new(EmConfig::new(4096, 16 * 4096).unwrap());
+            let approx = approx_max_crs_from_objects(
+                &ctx,
+                &ds.objects,
+                diameter,
+                &ApproxMaxCrsOptions::default(),
+            )
+            .unwrap();
+            let exact = exact_max_crs_in_memory(&ds.objects, diameter);
+            println!(
+                "fig17 (reduced) {} d={diameter}: ratio {:.3}",
+                kind.name(),
+                approx.total_weight / exact.total_weight.max(1e-12)
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the core building blocks: segment tree, in-memory
+//! plane sweep and external sort.  These are ablation-style measurements that
+//! support the design choices documented in DESIGN.md rather than a figure of
+//! the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxrs_core::{max_rs_in_memory, SegmentTree};
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_em::{external_sort_by_key, EmConfig, EmContext};
+use maxrs_geometry::RectSize;
+
+fn bench_segment_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_tree");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("range_add_max", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut tree = SegmentTree::new(n);
+                let mut acc = 0.0;
+                for i in 0..n {
+                    let lo = i % (n / 2);
+                    let hi = lo + n / 4;
+                    tree.range_add(lo, hi.min(n), 1.0);
+                    acc += tree.global_max();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plane_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plane_sweep");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000] {
+        let ds = Dataset::generate(DatasetKind::Uniform, n, 3);
+        group.bench_with_input(BenchmarkId::new("max_rs_in_memory", n), &ds, |b, ds| {
+            b.iter(|| max_rs_in_memory(&ds.objects, RectSize::square(5000.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_external_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    for &n in &[10_000u64, 50_000] {
+        group.bench_with_input(BenchmarkId::new("u64_reverse", n), &n, |b, &n| {
+            b.iter(|| {
+                let ctx = EmContext::new(EmConfig::new(4096, 16 * 4096).unwrap());
+                let data: Vec<u64> = (0..n).rev().collect();
+                let file = ctx.write_all(&data).unwrap();
+                external_sort_by_key(&ctx, &file, |x| *x).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment_tree, bench_plane_sweep, bench_external_sort);
+criterion_main!(benches);

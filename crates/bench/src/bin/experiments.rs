@@ -1,0 +1,154 @@
+//! Command-line experiment driver reproducing the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p maxrs-bench --bin experiments -- all
+//! cargo run --release -p maxrs-bench --bin experiments -- fig12 --scale 0.05
+//! cargo run --release -p maxrs-bench --bin experiments -- fig17 --paper-scale
+//! cargo run --release -p maxrs-bench --bin experiments -- fig13 --no-naive --json out.json
+//! ```
+//!
+//! By default the sweeps run at 4% of the paper's sizes (`--scale 0.04`) with
+//! the buffer scaled proportionally, which preserves every qualitative
+//! relationship of the figures while keeping the intentionally quadratic Naïve
+//! baseline tractable; `--paper-scale` selects the exact paper parameters.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use maxrs_bench::config::ExperimentScale;
+use maxrs_bench::figures::{
+    fig12_cardinality, fig13_buffer, fig14_range, fig15_buffer_real, fig16_range_real,
+    fig17_quality, FigureOptions,
+};
+use maxrs_bench::report::FigureReport;
+use maxrs_bench::tables::{table2, table3};
+
+struct Args {
+    command: String,
+    scale: ExperimentScale,
+    seed: u64,
+    no_naive: bool,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut parsed = Args {
+        command,
+        scale: ExperimentScale::default(),
+        seed: 42,
+        no_naive: false,
+        json_path: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad scale factor: {v}"))?;
+                parsed.scale = ExperimentScale::new(f);
+            }
+            "--paper-scale" => parsed.scale = ExperimentScale::paper(),
+            "--smoke" => parsed.scale = ExperimentScale::smoke(),
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--no-naive" => parsed.no_naive = true,
+            "--json" => {
+                parsed.json_path = Some(args.next().ok_or("--json needs a path")?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> &'static str {
+    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3> \
+     [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = FigureOptions {
+        scale: args.scale,
+        seed: args.seed,
+        algorithms: [true, true, true],
+    };
+    if args.no_naive {
+        opts = opts.without_naive();
+    }
+
+    println!(
+        "MaxRS experiment harness — scale factor {:.3}{}, seed {}",
+        opts.scale.factor,
+        if opts.scale.is_paper_scale() { " (paper scale)" } else { "" },
+        opts.seed
+    );
+
+    let mut reports: Vec<FigureReport> = Vec::new();
+    let start = Instant::now();
+    let run = |name: &str, f: &mut dyn FnMut() -> Vec<FigureReport>, reports: &mut Vec<FigureReport>| {
+        let t = Instant::now();
+        let mut rs = f();
+        for r in &rs {
+            println!("\n{}", r.to_table_string());
+        }
+        println!("[{name} took {:.1?}]", t.elapsed());
+        reports.append(&mut rs);
+    };
+
+    let command = args.command.as_str();
+    if matches!(command, "table2" | "all") {
+        println!("\n{}", table2(opts.scale, opts.seed));
+    }
+    if matches!(command, "table3" | "all") {
+        println!("\n{}", table3(opts.scale));
+    }
+    if matches!(command, "fig12" | "all") {
+        run("fig12", &mut || fig12_cardinality(&opts), &mut reports);
+    }
+    if matches!(command, "fig13" | "all") {
+        run("fig13", &mut || fig13_buffer(&opts), &mut reports);
+    }
+    if matches!(command, "fig14" | "all") {
+        run("fig14", &mut || fig14_range(&opts), &mut reports);
+    }
+    if matches!(command, "fig15" | "all") {
+        run("fig15", &mut || fig15_buffer_real(&opts), &mut reports);
+    }
+    if matches!(command, "fig16" | "all") {
+        run("fig16", &mut || fig16_range_real(&opts), &mut reports);
+    }
+    if matches!(command, "fig17" | "all") {
+        run("fig17", &mut || vec![fig17_quality(&opts)], &mut reports);
+    }
+    if !matches!(
+        command,
+        "all" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "table2" | "table3"
+    ) {
+        eprintln!("unknown command: {command}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = args.json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} reports to {path}", reports.len());
+    }
+    println!("total time: {:.1?}", start.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,141 @@
+//! Experiment configuration: the paper's parameters and the scaling knob.
+
+use maxrs_em::EmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Block size used throughout the paper (Table 3).
+pub const PAPER_BLOCK_SIZE: usize = 4096;
+/// Default buffer size for synthetic datasets (Table 3).
+pub const PAPER_BUFFER_SYNTHETIC: usize = 1024 * 1024;
+/// Default buffer size for real datasets (Table 3).
+pub const PAPER_BUFFER_REAL: usize = 256 * 1024;
+/// Default dataset cardinality for synthetic experiments (Table 3).
+pub const PAPER_CARDINALITY: usize = 250_000;
+/// Default rectangle side / circle diameter (Table 3).
+pub const PAPER_RANGE: f64 = 1000.0;
+/// Cardinality sweep of Figure 12.
+pub const PAPER_CARDINALITIES: [usize; 5] = [100_000, 200_000, 300_000, 400_000, 500_000];
+/// Buffer-size sweep of Figure 13 (bytes).
+pub const PAPER_BUFFERS_SYNTHETIC: [usize; 5] = [
+    256 * 1024,
+    512 * 1024,
+    1024 * 1024,
+    1536 * 1024,
+    2048 * 1024,
+];
+/// Buffer-size sweep of Figure 15 (bytes).
+pub const PAPER_BUFFERS_REAL: [usize; 5] = [
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+    384 * 1024,
+    512 * 1024,
+];
+/// Range-size sweep of Figures 14 and 16.
+pub const PAPER_RANGES: [f64; 5] = [1000.0, 2500.0, 5000.0, 7500.0, 10000.0];
+/// Diameter sweep of Figure 17.
+pub const PAPER_DIAMETERS: [f64; 5] = [1000.0, 2500.0, 5000.0, 7500.0, 10000.0];
+
+/// Scales the paper's experiment sizes down so that the full suite (including
+/// the intentionally quadratic Naïve baseline) completes in minutes on a
+/// laptop while preserving every qualitative relationship of the figures.
+///
+/// The factor multiplies dataset cardinalities *and* buffer sizes, keeping the
+/// ratio `N/M` — the quantity that actually drives all three algorithms'
+/// behaviour — at its paper value.  Block size, the data-space extent and the
+/// query range are not scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Multiplier applied to cardinalities and buffer sizes.
+    pub factor: f64,
+}
+
+impl ExperimentScale {
+    /// The paper's exact sizes.
+    pub fn paper() -> Self {
+        ExperimentScale { factor: 1.0 }
+    }
+
+    /// The default reduced scale used by `cargo run -p maxrs-bench --bin
+    /// experiments` (4% of the paper's sizes).
+    pub fn reduced() -> Self {
+        ExperimentScale { factor: 0.04 }
+    }
+
+    /// A very small scale suitable for smoke tests and CI.
+    pub fn smoke() -> Self {
+        ExperimentScale { factor: 0.01 }
+    }
+
+    /// An arbitrary scale factor (clamped to a sensible minimum).
+    pub fn new(factor: f64) -> Self {
+        ExperimentScale {
+            factor: factor.clamp(0.001, 1.0),
+        }
+    }
+
+    /// Scales a dataset cardinality (at least 200 objects).
+    pub fn cardinality(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.factor).round() as usize).max(200)
+    }
+
+    /// Scales a buffer size, keeping at least four blocks.
+    pub fn buffer_bytes(&self, paper_bytes: usize) -> usize {
+        let scaled = (paper_bytes as f64 * self.factor).round() as usize;
+        scaled.max(4 * PAPER_BLOCK_SIZE)
+    }
+
+    /// EM configuration for a scaled buffer.
+    pub fn em_config(&self, paper_buffer: usize) -> EmConfig {
+        EmConfig::new(PAPER_BLOCK_SIZE, self.buffer_bytes(paper_buffer))
+            .expect("scaled buffer always holds at least two blocks")
+    }
+
+    /// `true` when running at the paper's exact sizes.
+    pub fn is_paper_scale(&self) -> bool {
+        (self.factor - 1.0).abs() < f64::EPSILON
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::reduced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_table3() {
+        assert_eq!(PAPER_BLOCK_SIZE, 4096);
+        assert_eq!(PAPER_BUFFER_SYNTHETIC, 1024 * 1024);
+        assert_eq!(PAPER_BUFFER_REAL, 256 * 1024);
+        assert_eq!(PAPER_CARDINALITY, 250_000);
+        assert_eq!(PAPER_RANGE, 1000.0);
+        assert_eq!(PAPER_CARDINALITIES[0], 100_000);
+        assert_eq!(PAPER_CARDINALITIES[4], 500_000);
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        let s = ExperimentScale::new(0.1);
+        assert_eq!(s.cardinality(250_000), 25_000);
+        assert_eq!(s.buffer_bytes(1024 * 1024), 104_858);
+        assert!(ExperimentScale::paper().is_paper_scale());
+        assert!(!s.is_paper_scale());
+        // Tiny factors clamp to usable minima.
+        let tiny = ExperimentScale::new(0.000001);
+        assert!(tiny.cardinality(100_000) >= 200);
+        assert!(tiny.buffer_bytes(1024 * 1024) >= 4 * PAPER_BLOCK_SIZE);
+        let cfg = tiny.em_config(PAPER_BUFFER_SYNTHETIC);
+        assert!(cfg.buffer_blocks() >= 4);
+    }
+
+    #[test]
+    fn default_is_reduced() {
+        assert_eq!(ExperimentScale::default(), ExperimentScale::reduced());
+        assert!(ExperimentScale::smoke().factor < ExperimentScale::reduced().factor);
+    }
+}

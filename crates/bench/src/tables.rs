@@ -1,0 +1,119 @@
+//! Runners regenerating the paper's tables.
+
+use maxrs_datagen::{Dataset, DatasetKind, NE_CARDINALITY, UX_CARDINALITY};
+
+use crate::config::{
+    ExperimentScale, PAPER_BLOCK_SIZE, PAPER_BUFFER_REAL, PAPER_BUFFER_SYNTHETIC,
+    PAPER_CARDINALITY, PAPER_RANGE,
+};
+
+/// Table 2: cardinalities of the real datasets, together with basic statistics
+/// of the surrogates actually generated at the current scale.
+pub fn table2(scale: ExperimentScale, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# Table 2 — real dataset cardinalities\n");
+    out.push_str("Dataset  Paper cardinality  Generated (this run)  Occupied 32x32 cells\n");
+    for (kind, paper_n) in [
+        (DatasetKind::Ux, UX_CARDINALITY),
+        (DatasetKind::Ne, NE_CARDINALITY),
+    ] {
+        let n = scale.cardinality(paper_n);
+        let ds = Dataset::generate(kind, n, seed);
+        let cells = occupied_cells(&ds);
+        out.push_str(&format!(
+            "{:<7}  {:>17}  {:>21}  {:>20}\n",
+            kind.name(),
+            paper_n,
+            ds.len(),
+            cells
+        ));
+    }
+    out
+}
+
+/// Table 3: the default experiment parameters, at paper scale and at the scale
+/// of the current run.
+pub fn table3(scale: ExperimentScale) -> String {
+    let mut out = String::new();
+    out.push_str("# Table 3 — default experiment parameters\n");
+    out.push_str(&format!("{:<28}{:>16}{:>16}\n", "Parameter", "Paper", "This run"));
+    let rows: Vec<(String, String, String)> = vec![
+        (
+            "Cardinality (|O|)".into(),
+            format!("{PAPER_CARDINALITY}"),
+            format!("{}", scale.cardinality(PAPER_CARDINALITY)),
+        ),
+        (
+            "Block size".into(),
+            format!("{} B", PAPER_BLOCK_SIZE),
+            format!("{} B", PAPER_BLOCK_SIZE),
+        ),
+        (
+            "Buffer size (synthetic)".into(),
+            format!("{} KB", PAPER_BUFFER_SYNTHETIC / 1024),
+            format!("{} KB", scale.buffer_bytes(PAPER_BUFFER_SYNTHETIC) / 1024),
+        ),
+        (
+            "Buffer size (real)".into(),
+            format!("{} KB", PAPER_BUFFER_REAL / 1024),
+            format!("{} KB", scale.buffer_bytes(PAPER_BUFFER_REAL) / 1024),
+        ),
+        (
+            "Space size".into(),
+            "1M x 1M".into(),
+            "1M x 1M".into(),
+        ),
+        (
+            "Rectangle size (d1 x d2)".into(),
+            format!("{0} x {0}", PAPER_RANGE),
+            format!("{0} x {0}", PAPER_RANGE),
+        ),
+        (
+            "Circle diameter (d)".into(),
+            format!("{PAPER_RANGE}"),
+            format!("{PAPER_RANGE}"),
+        ),
+    ];
+    for (name, paper, run) in rows {
+        out.push_str(&format!("{name:<28}{paper:>16}{run:>16}\n"));
+    }
+    out
+}
+
+fn occupied_cells(ds: &Dataset) -> usize {
+    use std::collections::HashSet;
+    let mut cells = HashSet::new();
+    for o in &ds.objects {
+        cells.insert((
+            (o.point.x / (maxrs_datagen::SPACE_EXTENT / 32.0)) as i64,
+            (o.point.y / (maxrs_datagen::SPACE_EXTENT / 32.0)) as i64,
+        ));
+    }
+    cells.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_both_real_datasets() {
+        let t = table2(ExperimentScale::smoke(), 1);
+        assert!(t.contains("UX"));
+        assert!(t.contains("NE"));
+        assert!(t.contains("19499"));
+        assert!(t.contains("123593"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn table3_shows_paper_and_run_columns() {
+        let t = table3(ExperimentScale::paper());
+        assert!(t.contains("250000"));
+        assert!(t.contains("1024 KB"));
+        assert!(t.contains("4096 B"));
+        assert!(t.contains("1M x 1M"));
+        let reduced = table3(ExperimentScale::reduced());
+        assert!(reduced.contains("20000"), "reduced cardinality column missing:\n{reduced}");
+    }
+}

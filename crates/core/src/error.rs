@@ -1,0 +1,63 @@
+//! Error type of the algorithm layer.
+
+use maxrs_em::EmError;
+
+/// Errors raised by the MaxRS / MaxCRS algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error bubbled up from the external-memory substrate.
+    Em(EmError),
+    /// The algorithm was invoked with an invalid parameter (e.g. a
+    /// non-positive rectangle extent).
+    InvalidParameter(String),
+    /// An internal invariant was violated (indicates a bug, reported instead
+    /// of panicking so that long experiment sweeps fail gracefully).
+    Internal(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Em(e) => write!(f, "external-memory error: {e}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Em(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EmError> for CoreError {
+    fn from(e: EmError) -> Self {
+        CoreError::Em(e)
+    }
+}
+
+/// Result alias for the algorithm layer.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: CoreError = EmError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, CoreError::Em(_)));
+        assert!(e.to_string().contains("external-memory"));
+        assert!(CoreError::InvalidParameter("bad width".into())
+            .to_string()
+            .contains("bad width"));
+        assert!(CoreError::Internal("oops".into()).to_string().contains("oops"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(CoreError::Internal("x".into()).source().is_none());
+    }
+}

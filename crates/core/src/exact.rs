@@ -1,0 +1,470 @@
+//! ExactMaxRS: the external-memory distribution-sweep algorithm (Section 5).
+//!
+//! Pipeline:
+//!
+//! 1. **Transform** every object into a rectangle of the query size centered
+//!    at the object (`O(N/B)` I/Os).
+//! 2. **Sort** the rectangles by center x with the external merge sort
+//!    (`O((N/B) log_{M/B}(N/B))` I/Os).
+//! 3. **Recurse**: if the rectangles of the current slab fit in the memory
+//!    budget `M`, run the in-memory plane sweep; otherwise divide the slab
+//!    into `m = Θ(M/B)` sub-slabs, distribute the rectangles
+//!    ([`crate::slab::distribute`]), solve each sub-slab recursively and
+//!    combine the child slab-files with [`merge_sweep`](crate::merge_sweep).
+//! 4. **Extract** the best tuple of the final slab-file: its max-interval and
+//!    the strip up to the next tuple form the reported max-region; the
+//!    centroid of that region is an optimal location.
+
+use maxrs_em::{external_sort_by_key, EmContext, TupleFile};
+use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
+
+use crate::error::{CoreError, Result};
+use crate::merge_sweep::merge_sweep;
+use crate::plane_sweep::plane_sweep_slab;
+use crate::records::{ObjectRecord, RectRecord, SlabTuple};
+use crate::result::MaxRsResult;
+use crate::slab::{compute_partition, distribute, BoundarySource};
+
+/// Tuning knobs of [`exact_max_rs`].  The defaults follow the EM configuration
+/// of the context (`M` and `m` derived from the buffer size), exactly like the
+/// paper's experiments; overrides exist for tests and ablation studies.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactMaxRsOptions {
+    /// Override for the distribution fan-out `m` (default: `EmConfig::fanout`).
+    pub fanout: Option<usize>,
+    /// Override for the in-memory threshold `M`, in rectangles (default:
+    /// `EmConfig::mem_records::<RectRecord>()`).
+    pub memory_rects: Option<usize>,
+    /// Reservoir size used when slab boundaries must be estimated from an
+    /// unsorted rectangle file (recursion levels below the first).
+    pub boundary_sample: usize,
+    /// Keep the sorted rectangle file instead of deleting it (useful when the
+    /// caller wants to re-run with different parameters).
+    pub keep_intermediates: bool,
+}
+
+impl Default for ExactMaxRsOptions {
+    fn default() -> Self {
+        ExactMaxRsOptions {
+            fanout: None,
+            memory_rects: None,
+            boundary_sample: 8192,
+            keep_intermediates: false,
+        }
+    }
+}
+
+/// Runs ExactMaxRS over an object file already stored in the EM context.
+///
+/// Returns the optimal location, the maximum range sum and the max-region.
+/// All temporary files are deleted before returning; the input file is left
+/// untouched.  I/O counters of `ctx` reflect the full pipeline (transform,
+/// sort, distribution sweep).
+pub fn exact_max_rs(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    opts: &ExactMaxRsOptions,
+) -> Result<MaxRsResult> {
+    if objects.is_empty() {
+        return Ok(MaxRsResult::empty());
+    }
+
+    // 1. Transform objects into centered rectangles.
+    let rects = transform_to_rect_file(ctx, objects, size)?;
+
+    // 2. Sort by center x (the preprocessing step of the paper).
+    let sorted = external_sort_by_key(ctx, &rects, |r| r.center_x())?;
+    ctx.delete_file(rects)?;
+
+    // 3. Distribution-sweep recursion.
+    let runner = Runner { ctx, opts: *opts };
+    let final_slab = runner.solve(sorted, Interval::UNBOUNDED, true)?;
+
+    // 4. Extract the best region from the final slab-file.
+    let result = extract_best(ctx, &final_slab)?;
+    ctx.delete_file(final_slab)?;
+    Ok(result)
+}
+
+/// Convenience wrapper: loads the objects into the context and runs
+/// [`exact_max_rs`].  The temporary object file is removed afterwards.
+pub fn exact_max_rs_from_objects(
+    ctx: &EmContext,
+    objects: &[WeightedPoint],
+    size: RectSize,
+    opts: &ExactMaxRsOptions,
+) -> Result<MaxRsResult> {
+    let file = load_objects(ctx, objects)?;
+    let result = exact_max_rs(ctx, &file, size, opts);
+    ctx.delete_file(file)?;
+    result
+}
+
+/// Writes a slice of weighted points as an object file in the EM context.
+pub fn load_objects(
+    ctx: &EmContext,
+    objects: &[WeightedPoint],
+) -> Result<TupleFile<ObjectRecord>> {
+    let mut writer = ctx.create_writer::<ObjectRecord>()?;
+    for o in objects {
+        writer.push(&ObjectRecord(*o))?;
+    }
+    writer.finish().map_err(CoreError::from)
+}
+
+/// Streams the object file into a rectangle file (the transformed problem).
+pub fn transform_to_rect_file(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+) -> Result<TupleFile<RectRecord>> {
+    let mut reader = ctx.open_reader(objects);
+    let mut writer = ctx.create_writer::<RectRecord>()?;
+    while let Some(rec) = reader.next_record()? {
+        let rect = rec.0.to_rect(size);
+        writer.push(&RectRecord::new(rect, rec.0.weight))?;
+    }
+    writer.finish().map_err(CoreError::from)
+}
+
+struct Runner<'a> {
+    ctx: &'a EmContext,
+    opts: ExactMaxRsOptions,
+}
+
+impl<'a> Runner<'a> {
+    fn memory_rects(&self) -> usize {
+        self.opts
+            .memory_rects
+            .unwrap_or_else(|| self.ctx.config().mem_records::<RectRecord>())
+            .max(4)
+    }
+
+    fn fanout(&self) -> usize {
+        self.opts
+            .fanout
+            .unwrap_or_else(|| self.ctx.config().fanout())
+            .max(2)
+    }
+
+    /// Solves one recursion node: consumes `input` (the rectangles of `slab`)
+    /// and returns the slab-file of `slab`.
+    fn solve(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+        sorted: bool,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let n = input.len() as usize;
+        if n <= self.memory_rects() {
+            return self.solve_in_memory(input, slab);
+        }
+
+        // Divide the slab into m sub-slabs with roughly equal rectangle counts.
+        let source = if sorted {
+            BoundarySource::SortedExact
+        } else {
+            BoundarySource::Sampled(self.opts.boundary_sample)
+        };
+        let partition = compute_partition(self.ctx, &input, slab, self.fanout(), source)?;
+        if partition.num_slabs() < 2 {
+            // Heavy ties on x: no vertical split can make progress.  Fall back
+            // to the in-memory sweep (documented guard; never triggered by the
+            // paper's workloads).
+            return self.solve_in_memory(input, slab);
+        }
+
+        let dist = distribute(self.ctx, &input, &partition)?;
+        if !self.opts.keep_intermediates {
+            self.ctx.delete_file(input)?;
+        }
+
+        // Conquer each sub-slab.  `solve_child` guards against the pathological
+        // case where a child is as large as its parent (extreme ties on x).
+        let mut child_files = Vec::with_capacity(partition.num_slabs());
+        for (i, child_input) in dist.slab_inputs.into_iter().enumerate() {
+            let child_slab = partition.slab(i);
+            let child = self.solve_child(child_input, child_slab, n)?;
+            child_files.push(child);
+        }
+
+        // Combine.
+        let merged = merge_sweep(
+            self.ctx,
+            &child_files,
+            &partition.slabs(),
+            &dist.span_events,
+        )?;
+        for f in child_files {
+            self.ctx.delete_file(f)?;
+        }
+        self.ctx.delete_file(dist.span_events)?;
+        Ok(merged)
+    }
+
+    /// Recurses into a child slab, guarding against pathological inputs where
+    /// the child is as large as the parent (possible only under extreme ties);
+    /// such children are solved in memory to guarantee termination.
+    fn solve_child(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+        parent_size: usize,
+    ) -> Result<TupleFile<SlabTuple>> {
+        if input.len() as usize >= parent_size && input.len() as usize > self.memory_rects() {
+            return self.solve_in_memory(input, slab);
+        }
+        self.solve(input, slab, false)
+    }
+
+    fn solve_in_memory(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let rects = self.ctx.read_all(&input)?;
+        if !self.opts.keep_intermediates {
+            self.ctx.delete_file(input)?;
+        }
+        let tuples = plane_sweep_slab(&rects, slab);
+        let mut writer = self.ctx.create_writer::<SlabTuple>()?;
+        for t in &tuples {
+            writer.push(t)?;
+        }
+        writer.finish().map_err(CoreError::from)
+    }
+}
+
+/// Scans the final slab-file for the best tuple and converts it into a result.
+fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
+    let mut reader = ctx.open_reader(slab_file);
+    let mut best: Option<SlabTuple> = None;
+    let mut best_next_y: Option<f64> = None;
+    let mut awaiting_next = false;
+    while let Some(t) = reader.next_record()? {
+        if awaiting_next {
+            best_next_y = Some(t.y);
+            awaiting_next = false;
+        }
+        if best.map_or(true, |b| t.sum > b.sum) {
+            best = Some(t);
+            best_next_y = None;
+            awaiting_next = true;
+        }
+    }
+    let best = match best {
+        Some(b) => b,
+        None => return Ok(MaxRsResult::empty()),
+    };
+    let y_lo = best.y;
+    let y_hi = best_next_y.filter(|&y| y > y_lo).unwrap_or(y_lo + 1.0);
+    let x = best.interval();
+    let region = Rect::new(x.lo, x.hi, y_lo, y_hi);
+    let center = Point::new(x.representative(), (y_lo + y_hi) / 2.0);
+    Ok(MaxRsResult {
+        center,
+        total_weight: best.sum,
+        region,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane_sweep::max_rs_in_memory;
+    use crate::reference::{brute_force_max_rs, rect_objective};
+    use maxrs_em::EmConfig;
+
+    /// A context whose tiny buffer forces real recursion even for small inputs:
+    /// 256-byte blocks (6 RectRecords each), 1 KB buffer (25 RectRecords in
+    /// memory, fan-out 2).
+    fn tiny_ctx() -> EmContext {
+        EmContext::new(EmConfig::new(256, 1024).unwrap())
+    }
+
+    /// A context large enough that everything fits in memory (single base case).
+    fn roomy_ctx() -> EmContext {
+        EmContext::new(EmConfig::new(4096, 1024 * 1024).unwrap())
+    }
+
+    fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let x = next() * extent;
+                let y = next() * extent;
+                let w = 1.0 + (next() * 4.0).floor();
+                WeightedPoint::at(x, y, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ctx = roomy_ctx();
+        let r =
+            exact_max_rs_from_objects(&ctx, &[], RectSize::square(10.0), &Default::default())
+                .unwrap();
+        assert_eq!(r.total_weight, 0.0);
+    }
+
+    #[test]
+    fn single_object() {
+        let ctx = roomy_ctx();
+        let objects = vec![WeightedPoint::at(100.0, 200.0, 7.0)];
+        let r = exact_max_rs_from_objects(
+            &ctx,
+            &objects,
+            RectSize::square(10.0),
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(r.total_weight, 7.0);
+        assert_eq!(
+            rect_objective(&objects, r.center, RectSize::square(10.0)),
+            7.0
+        );
+    }
+
+    #[test]
+    fn matches_in_memory_sweep_when_everything_fits() {
+        let ctx = roomy_ctx();
+        let objects = pseudo_random_objects(300, 42, 1000.0);
+        let size = RectSize::new(120.0, 80.0);
+        let external = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+        let internal = max_rs_in_memory(&objects, size);
+        assert_eq!(external.total_weight, internal.total_weight);
+        assert_eq!(
+            rect_objective(&objects, external.center, size),
+            external.total_weight
+        );
+    }
+
+    #[test]
+    fn recursion_matches_in_memory_answer() {
+        // Small buffer -> the 400-object input needs several recursion levels.
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(400, 7, 500.0);
+        let size = RectSize::square(60.0);
+        let external = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+        let internal = max_rs_in_memory(&objects, size);
+        assert_eq!(external.total_weight, internal.total_weight);
+        assert_eq!(
+            rect_objective(&objects, external.center, size),
+            external.total_weight
+        );
+    }
+
+    #[test]
+    fn recursion_matches_brute_force_small() {
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(60, 99, 100.0);
+        for side in [5.0, 20.0, 60.0] {
+            let size = RectSize::square(side);
+            let external =
+                exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+            let brute = brute_force_max_rs(&objects, size);
+            assert_eq!(external.total_weight, brute.total_weight, "side={side}");
+            assert_eq!(
+                rect_objective(&objects, external.center, size),
+                external.total_weight,
+                "side={side}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_fanout_and_memory_overrides() {
+        let ctx = roomy_ctx();
+        let objects = pseudo_random_objects(500, 3, 2000.0);
+        let size = RectSize::square(150.0);
+        let reference = max_rs_in_memory(&objects, size);
+        for (fanout, mem) in [(2, 16), (3, 50), (8, 100), (16, 64)] {
+            let opts = ExactMaxRsOptions {
+                fanout: Some(fanout),
+                memory_rects: Some(mem),
+                ..Default::default()
+            };
+            let r = exact_max_rs_from_objects(&ctx, &objects, size, &opts).unwrap();
+            assert_eq!(
+                r.total_weight, reference.total_weight,
+                "fanout={fanout} mem={mem}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_x_coordinates_do_not_break_recursion() {
+        // All objects share one of three x values: slab boundaries collapse and
+        // the fallback path must still produce the right answer.
+        let ctx = tiny_ctx();
+        let mut objects = Vec::new();
+        for i in 0..150 {
+            let x = [10.0, 20.0, 30.0][i % 3];
+            objects.push(WeightedPoint::at(x, i as f64, 1.0));
+        }
+        let size = RectSize::new(5.0, 400.0);
+        let opts = ExactMaxRsOptions {
+            memory_rects: Some(20),
+            fanout: Some(4),
+            ..Default::default()
+        };
+        let external = exact_max_rs_from_objects(&ctx, &objects, size, &opts).unwrap();
+        let internal = max_rs_in_memory(&objects, size);
+        assert_eq!(external.total_weight, internal.total_weight);
+        assert_eq!(external.total_weight, 50.0);
+    }
+
+    #[test]
+    fn weighted_answer_prefers_heavy_cluster_under_recursion() {
+        let ctx = tiny_ctx();
+        let mut objects = pseudo_random_objects(200, 11, 1000.0);
+        // Heavy cluster far away from the noise.
+        for i in 0..5 {
+            objects.push(WeightedPoint::at(5000.0 + i as f64, 5000.0 + i as f64, 100.0));
+        }
+        let size = RectSize::square(50.0);
+        let r = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+        assert_eq!(r.total_weight, 500.0);
+        assert!((r.center.x - 5000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn temporary_files_are_cleaned_up() {
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(300, 21, 800.0);
+        let file = load_objects(&ctx, &objects).unwrap();
+        let _ = exact_max_rs(&ctx, &file, RectSize::square(40.0), &Default::default()).unwrap();
+        // Only the input object file may remain on the simulated disk.
+        assert!(
+            ctx.disk_blocks() <= ctx.config().blocks_for::<ObjectRecord>(file.len()),
+            "intermediate files must be deleted ({} blocks remain)",
+            ctx.disk_blocks()
+        );
+        ctx.delete_file(file).unwrap();
+    }
+
+    #[test]
+    fn io_cost_is_near_linear_in_blocks() {
+        // With the paper's parameters the recursion has a single level, so the
+        // I/O cost must stay within a small constant times N/B.
+        let ctx = EmContext::new(EmConfig::new(512, 8 * 512).unwrap());
+        let objects = pseudo_random_objects(4000, 5, 100_000.0);
+        let file = load_objects(&ctx, &objects).unwrap();
+        ctx.reset_stats();
+        let _ = exact_max_rs(&ctx, &file, RectSize::square(1000.0), &Default::default()).unwrap();
+        let rect_blocks = ctx.config().blocks_for::<RectRecord>(objects.len() as u64);
+        let total = ctx.stats().total();
+        assert!(
+            total < 60 * rect_blocks,
+            "ExactMaxRS used {total} I/Os for {rect_blocks} rectangle blocks"
+        );
+    }
+}

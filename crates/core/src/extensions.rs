@@ -1,0 +1,247 @@
+//! Extensions sketched in the paper's future-work section (Section 8):
+//! *"it will be naturally feasible to extend our algorithm to deal with the
+//! MaxkRS problem or MinRS problem"*.
+//!
+//! * [`max_k_rs_in_memory`] — **MaxkRS**: report `k` pairwise non-overlapping
+//!   placements in decreasing order of covered weight, via the standard greedy
+//!   reduction (solve MaxRS, remove the covered objects, repeat).  Greedy is
+//!   the baseline the MaxkRS follow-up literature compares against; each
+//!   reported placement is optimal for the objects remaining at its turn.
+//! * [`min_rs_in_memory`] — **MinRS**: the placement covering the *least*
+//!   weight (e.g. the quietest spot).  Solved by negating the weights and
+//!   running the very same sweep: `min Σw = −max Σ(−w)`.
+//!
+//! Both extensions reuse the plane-sweep machinery unchanged, which is exactly
+//! the point the authors make; external-memory versions follow by swapping the
+//! in-memory sweep for [`crate::exact_max_rs`] in the same way.
+
+use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
+
+use crate::plane_sweep::{max_rs_in_memory, plane_sweep_slab};
+use crate::records::RectRecord;
+use crate::result::MaxRsResult;
+
+/// Greedy MaxkRS: up to `k` non-overlapping placements, best first.
+///
+/// After each round the objects covered by the chosen rectangle are removed,
+/// so later placements never re-count them; rounds stop early once no object
+/// remains.  Ties follow the underlying MaxRS tie-breaking (leftmost /
+/// bottom-most max-region).
+pub fn max_k_rs_in_memory(
+    objects: &[WeightedPoint],
+    size: RectSize,
+    k: usize,
+) -> Vec<MaxRsResult> {
+    let mut remaining: Vec<WeightedPoint> = objects.to_vec();
+    let mut results = Vec::with_capacity(k);
+    for _ in 0..k {
+        if remaining.is_empty() {
+            break;
+        }
+        let best = max_rs_in_memory(&remaining, size);
+        if best.total_weight <= 0.0 {
+            break;
+        }
+        let chosen = Rect::centered_at(best.center, size);
+        remaining.retain(|o| !chosen.contains_open(&o.point));
+        results.push(best);
+    }
+    results
+}
+
+/// MinRS: among all centers inside the closed `domain` rectangle, a placement
+/// whose (open) query rectangle covers the minimum total weight.
+///
+/// Unlike MaxRS, the unconstrained minimum is trivially 0 (place the rectangle
+/// in empty space), so MinRS is parameterized by the region of admissible
+/// centers — e.g. the downtown area in which the new facility must lie.  The
+/// returned center is an interior point of a cell of minimum location-weight
+/// clamped to the domain, mirroring the MaxRS guarantees.
+pub fn min_rs_in_memory(objects: &[WeightedPoint], size: RectSize, domain: Rect) -> MaxRsResult {
+    let empty_result = || MaxRsResult {
+        center: domain.center(),
+        total_weight: 0.0,
+        region: domain,
+    };
+    if objects.is_empty() {
+        return empty_result();
+    }
+    // Sweep the x-range of the domain only, on negated weights: the maximum of
+    // the negated instance is the negated minimum of the original one.
+    // RectRecord weights may be negative (only WeightedPoint insists on
+    // non-negativity), so the sweep is reused verbatim.
+    let rects: Vec<RectRecord> = objects
+        .iter()
+        .map(|o| RectRecord::new(o.to_rect(size), -o.weight))
+        .collect();
+    let slab = Interval::new(domain.x_lo, domain.x_hi);
+    let tuples = plane_sweep_slab(&rects, slab);
+
+    // Scan the strips that intersect the domain's y-range, including the
+    // implicit weight-0 strip below the first h-line.
+    let mut best: Option<(f64, Interval, Interval)> = None; // (negated sum, x, y)
+    let mut consider = |sum: f64, x: Interval, y_lo: f64, y_hi: f64| {
+        let y_lo = y_lo.max(domain.y_lo);
+        let y_hi = y_hi.min(domain.y_hi);
+        if y_lo >= y_hi {
+            // Only strips of positive height keep the "center achieves the
+            // reported weight" guarantee.
+            return;
+        }
+        if best.as_ref().map_or(true, |(b, _, _)| sum > *b) {
+            best = Some((sum, x, Interval::new(y_lo, y_hi)));
+        }
+    };
+    let mut prev_y = f64::NEG_INFINITY;
+    let mut prev: Option<(f64, Interval)> = Some((0.0, slab));
+    for t in &tuples {
+        if let Some((sum, x)) = prev {
+            consider(sum, x, prev_y, t.y);
+        }
+        prev_y = t.y;
+        prev = Some((t.sum, t.interval()));
+    }
+    if let Some((sum, x)) = prev {
+        consider(sum, x, prev_y, f64::INFINITY);
+    }
+
+    match best {
+        None => {
+            // Degenerate domain (zero height/width): evaluate its center directly.
+            let center = domain.center();
+            MaxRsResult {
+                center,
+                total_weight: maxrs_geometry::range_sum_rect(objects, center, size),
+                region: domain,
+            }
+        }
+        Some((negated_sum, x, y)) => {
+            let center = Point::new(
+                x.representative().clamp(domain.x_lo, domain.x_hi),
+                y.representative().clamp(domain.y_lo, domain.y_hi),
+            );
+            MaxRsResult {
+                center,
+                total_weight: -negated_sum,
+                region: Rect::new(x.lo, x.hi, y.lo, y.hi),
+            }
+        }
+    }
+}
+
+/// Convenience: the minimum range sum value over the domain only.
+pub fn min_range_sum(objects: &[WeightedPoint], size: RectSize, domain: Rect) -> f64 {
+    min_rs_in_memory(objects, size, domain).total_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::rect_objective;
+
+    fn units(points: &[(f64, f64)]) -> Vec<WeightedPoint> {
+        points.iter().map(|&(x, y)| WeightedPoint::unit(x, y)).collect()
+    }
+
+    #[test]
+    fn max_k_rs_reports_disjoint_clusters_in_order() {
+        // Three clusters of sizes 4, 3 and 2, far apart.
+        let mut objects = units(&[
+            (0.0, 0.0),
+            (0.5, 0.5),
+            (0.2, 0.8),
+            (0.8, 0.1),
+            (50.0, 50.0),
+            (50.5, 50.5),
+            (50.2, 50.8),
+            (100.0, 0.0),
+            (100.5, 0.5),
+        ]);
+        objects.push(WeightedPoint::unit(200.0, 200.0)); // singleton
+        let size = RectSize::square(3.0);
+        let top = max_k_rs_in_memory(&objects, size, 3);
+        assert_eq!(top.len(), 3);
+        let weights: Vec<f64> = top.iter().map(|r| r.total_weight).collect();
+        assert_eq!(weights, vec![4.0, 3.0, 2.0]);
+        // Placements must be pairwise non-overlapping.
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                let a = Rect::centered_at(top[i].center, size);
+                let b = Rect::centered_at(top[j].center, size);
+                assert!(!a.overlaps_open(&b), "placements {i} and {j} overlap");
+            }
+        }
+        // Each reported weight is achieved by its center on the full dataset
+        // minus the previously covered objects, and trivially bounded by the
+        // single-shot optimum.
+        assert_eq!(rect_objective(&objects, top[0].center, size), 4.0);
+    }
+
+    #[test]
+    fn max_k_rs_stops_when_objects_run_out() {
+        let objects = units(&[(0.0, 0.0), (0.2, 0.2)]);
+        let top = max_k_rs_in_memory(&objects, RectSize::square(1.0), 10);
+        assert_eq!(top.len(), 1, "one placement covers everything");
+        assert_eq!(top[0].total_weight, 2.0);
+        assert!(max_k_rs_in_memory(&[], RectSize::square(1.0), 5).is_empty());
+        assert!(max_k_rs_in_memory(&objects, RectSize::square(1.0), 0).is_empty());
+    }
+
+    #[test]
+    fn min_rs_finds_an_empty_spot_when_one_exists() {
+        let objects = units(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        let domain = Rect::new(-5.0, 5.0, -5.0, 5.0);
+        let r = min_rs_in_memory(&objects, RectSize::square(1.0), domain);
+        assert_eq!(r.total_weight, 0.0);
+        assert_eq!(rect_objective(&objects, r.center, RectSize::square(1.0)), 0.0);
+        assert!(domain.contains_closed(&r.center));
+        assert_eq!(min_range_sum(&objects, RectSize::square(1.0), domain), 0.0);
+    }
+
+    #[test]
+    fn min_rs_in_a_crowded_space() {
+        // A 10x10 grid of unit objects with one heavier corner; a 3x3 window
+        // centered well inside the grid always covers something, and the
+        // minimum avoids the heavy corner.
+        let mut objects = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let w = if i < 2 && j < 2 { 5.0 } else { 1.0 };
+                objects.push(WeightedPoint::at(i as f64, j as f64, w));
+            }
+        }
+        let size = RectSize::square(3.1);
+        let domain = Rect::new(2.0, 7.0, 2.0, 7.0);
+        let r = min_rs_in_memory(&objects, size, domain);
+        assert!(r.total_weight >= 1.0, "interior windows always cover objects");
+        assert_eq!(rect_objective(&objects, r.center, size), r.total_weight);
+        assert!(domain.contains_closed(&r.center));
+        // The minimum must not sit on the heavy corner.
+        assert!(r.total_weight < 5.0 + 9.0);
+        // Brute-force cross check over a fine probe grid inside the domain.
+        let mut best = f64::INFINITY;
+        for cx in 0..=20 {
+            for cy in 0..=20 {
+                let p = Point::new(2.0 + cx as f64 * 0.25, 2.0 + cy as f64 * 0.25);
+                best = best.min(rect_objective(&objects, p, size));
+            }
+        }
+        // The sweep may find an even smaller value than the coarse probe grid,
+        // never a larger one.
+        assert!(r.total_weight <= best + 1e-9);
+    }
+
+    #[test]
+    fn min_rs_degenerate_domain_and_empty_input() {
+        let domain = Rect::new(-1.0, 1.0, -1.0, 1.0);
+        let r = min_rs_in_memory(&[], RectSize::square(2.0), domain);
+        assert_eq!(r.total_weight, 0.0);
+
+        // A zero-area domain: the center is evaluated directly.
+        let objects = units(&[(0.0, 0.0)]);
+        let point_domain = Rect::new(0.0, 0.0, 0.0, 0.0);
+        let r = min_rs_in_memory(&objects, RectSize::square(2.0), point_domain);
+        assert_eq!(r.center, Point::new(0.0, 0.0));
+        assert_eq!(r.total_weight, 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! A uniform grid over the plane for neighborhood queries.
+//!
+//! Used by the exact MaxCRS reference ([`crate::crs_exact`]) to find, for each
+//! object, the other objects within the circle diameter without an `O(n²)`
+//! all-pairs scan.
+
+use std::collections::HashMap;
+
+use maxrs_geometry::{Point, WeightedPoint};
+
+/// A hash-based uniform grid indexing a set of points by cell.
+#[derive(Debug)]
+pub struct UniformGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl UniformGrid {
+    /// Builds a grid with the given cell size over the given objects.
+    pub fn build(objects: &[WeightedPoint], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        let mut points = Vec::with_capacity(objects.len());
+        for (i, o) in objects.iter().enumerate() {
+            points.push(o.point);
+            cells.entry(Self::key(o.point, cell)).or_default().push(i);
+        }
+        UniformGrid { cell, cells, points }
+    }
+
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Cell size of the grid.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of every indexed point within (closed) distance `radius` of `p`.
+    pub fn neighbors_within(&self, p: Point, radius: f64) -> Vec<usize> {
+        let r_cells = (radius / self.cell).ceil() as i64 + 1;
+        let (cx, cy) = Self::key(p, self.cell);
+        let mut out = Vec::new();
+        let r_sq = radius * radius;
+        for dx in -r_cells..=r_cells {
+            for dy in -r_cells..=r_cells {
+                if let Some(indices) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in indices {
+                        if self.points[i].distance_sq(&p) <= r_sq {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of non-empty cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objects() -> Vec<WeightedPoint> {
+        vec![
+            WeightedPoint::unit(0.0, 0.0),
+            WeightedPoint::unit(1.0, 1.0),
+            WeightedPoint::unit(5.0, 5.0),
+            WeightedPoint::unit(-3.0, 2.0),
+            WeightedPoint::unit(100.0, 100.0),
+        ]
+    }
+
+    #[test]
+    fn neighbors_match_brute_force() {
+        let objects = objects();
+        let grid = UniformGrid::build(&objects, 2.5);
+        for &radius in &[0.5, 2.0, 10.0, 200.0] {
+            for &q in &[Point::new(0.0, 0.0), Point::new(4.0, 4.0), Point::new(-10.0, -10.0)] {
+                let mut got = grid.neighbors_within(q, radius);
+                got.sort_unstable();
+                let mut expected: Vec<usize> = objects
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.point.distance(&q) <= radius)
+                    .map(|(i, _)| i)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "radius={radius} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = UniformGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert!(grid.neighbors_within(Point::new(0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_round_to_correct_cells() {
+        let objects = vec![WeightedPoint::unit(-0.1, -0.1), WeightedPoint::unit(0.1, 0.1)];
+        let grid = UniformGrid::build(&objects, 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+        let n = grid.neighbors_within(Point::new(0.0, 0.0), 0.5);
+        assert_eq!(n.len(), 2);
+        assert_eq!(grid.cell_size(), 1.0);
+        assert_eq!(grid.len(), 2);
+    }
+}

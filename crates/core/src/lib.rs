@@ -1,0 +1,85 @@
+//! # maxrs-core — scalable maximizing range sum in spatial databases
+//!
+//! This crate implements the algorithms of *"A Scalable Algorithm for
+//! Maximizing Range Sum in Spatial Databases"* (Choi, Chung, Tao; PVLDB 5(11),
+//! 2012):
+//!
+//! * [`exact_max_rs`] — **ExactMaxRS**, the external-memory distribution-sweep
+//!   algorithm that solves the MaxRS problem in the optimal
+//!   `O((N/B) log_{M/B}(N/B))` I/Os,
+//! * [`approx_max_crs`] — **ApproxMaxCRS**, the `(1/4)`-approximation for the
+//!   circular variant (MaxCRS),
+//! * [`max_rs_in_memory`] — the classic in-memory plane sweep, used both as
+//!   the recursion base case and as a convenience API for small datasets,
+//! * [`exact_max_crs_in_memory`] — the exact MaxCRS reference used to measure
+//!   approximation quality (Figure 17 of the paper),
+//! * the building blocks (slab partitioning, slab-files, MergeSweep, segment
+//!   tree, uniform grid) as documented public modules.
+//!
+//! The external-memory algorithms run against a [`maxrs_em::EmContext`], which
+//! simulates a block device with a bounded buffer pool and counts every block
+//! transfer — the paper's performance metric.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use maxrs_core::{exact_max_rs_from_objects, max_rs_in_memory, ExactMaxRsOptions};
+//! use maxrs_em::{EmConfig, EmContext};
+//! use maxrs_geometry::{RectSize, WeightedPoint};
+//!
+//! let objects = vec![
+//!     WeightedPoint::unit(1.0, 1.0),
+//!     WeightedPoint::unit(1.5, 1.2),
+//!     WeightedPoint::unit(9.0, 9.0),
+//! ];
+//! // Small data: in-memory sweep.
+//! let quick = max_rs_in_memory(&objects, RectSize::square(2.0));
+//! assert_eq!(quick.total_weight, 2.0);
+//!
+//! // Same answer through the external-memory pipeline.
+//! let ctx = EmContext::new(EmConfig::paper_synthetic());
+//! let external = exact_max_rs_from_objects(
+//!     &ctx,
+//!     &objects,
+//!     RectSize::square(2.0),
+//!     &ExactMaxRsOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(external.total_weight, 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod crs_exact;
+mod error;
+pub mod exact;
+pub mod extensions;
+pub mod grid;
+pub mod merge_sweep;
+pub mod plane_sweep;
+pub mod records;
+pub mod reference;
+mod result;
+pub mod segment_tree;
+pub mod slab;
+
+pub use approx::{approx_max_crs, approx_max_crs_from_objects, candidate_points, ApproxMaxCrsOptions};
+pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
+pub use error::{CoreError, Result};
+pub use exact::{
+    exact_max_rs, exact_max_rs_from_objects, load_objects, transform_to_rect_file,
+    ExactMaxRsOptions,
+};
+pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
+pub use grid::UniformGrid;
+pub use merge_sweep::merge_sweep;
+pub use plane_sweep::{
+    best_region_from_tuples, max_rs_in_memory, plane_sweep_slab, transform_objects,
+};
+pub use records::{ObjectRecord, RectRecord, SlabTuple, SpanEvent};
+pub use reference::{brute_force_max_crs, brute_force_max_rs, circle_objective, rect_objective};
+pub use result::{MaxCrsResult, MaxRsResult};
+pub use segment_tree::SegmentTree;
+pub use slab::{compute_partition, distribute, BoundarySource, Distribution, SlabPartition};

@@ -1,0 +1,259 @@
+//! MergeSweep: combining the slab-files of `m` sub-slabs (Algorithm 1).
+//!
+//! The merge sweeps a conceptual horizontal line bottom-to-top across the `m`
+//! child slab-files and the file of spanning rectangles, maintaining
+//!
+//! * `up_sum[i]` — the total weight of spanning rectangles currently covering
+//!   sub-slab `i`, and
+//! * `tslab[i]` — the most recent max-interval tuple of sub-slab `i`,
+//!
+//! and emits, at every event y, the best max-interval over the union slab.
+//!
+//! Two refinements over the paper's pseudo-code:
+//!
+//! * an output tuple is emitted at spanning-rectangle events as well, because
+//!   the location-weight of the union slab changes there even though no child
+//!   slab-file has a tuple at that y;
+//! * ties between sub-slabs are broken by taking the first (leftmost)
+//!   max-interval instead of merging touching intervals (`GetMaxInterval`).
+//!   Under open-boundary semantics a merged interval can contain points that
+//!   do not attain the maximum (exactly on a shared rectangle edge), whereas
+//!   the interior of a single sub-slab max-interval always does; the reported
+//!   maximum value is identical either way.  See [`crate::plane_sweep`].
+
+use maxrs_em::{EmContext, TupleFile, TupleReader};
+use maxrs_geometry::Interval;
+
+use crate::error::{CoreError, Result};
+use crate::records::{SlabTuple, SpanEvent};
+
+/// Merges the slab-files `slab_files` (one per sub-slab, y-sorted) and the
+/// y-sorted spanning events into the slab-file of the union slab.
+pub fn merge_sweep(
+    ctx: &EmContext,
+    slab_files: &[TupleFile<SlabTuple>],
+    slabs: &[Interval],
+    span_events: &TupleFile<SpanEvent>,
+) -> Result<TupleFile<SlabTuple>> {
+    if slab_files.len() != slabs.len() {
+        return Err(CoreError::Internal(format!(
+            "merge_sweep got {} slab files but {} slabs",
+            slab_files.len(),
+            slabs.len()
+        )));
+    }
+    let m = slab_files.len();
+    let mut readers: Vec<TupleReader<'_, SlabTuple>> =
+        slab_files.iter().map(|f| ctx.open_reader(f)).collect();
+    let mut span_reader: TupleReader<'_, SpanEvent> = ctx.open_reader(span_events);
+    let mut writer = ctx.create_writer::<SlabTuple>()?;
+
+    // Sweep state.
+    let mut up_sum = vec![0.0f64; m];
+    let mut tslab: Vec<SlabTuple> = slabs
+        .iter()
+        .map(|s| SlabTuple::new(f64::NEG_INFINITY, s.lo, s.hi, 0.0))
+        .collect();
+
+    loop {
+        // The next event y is the smallest head y over all inputs.
+        let mut next_y: Option<f64> = None;
+        for reader in readers.iter_mut() {
+            if let Some(t) = reader.peek()? {
+                next_y = Some(next_y.map_or(t.y, |y: f64| y.min(t.y)));
+            }
+        }
+        if let Some(e) = span_reader.peek()? {
+            next_y = Some(next_y.map_or(e.y, |y: f64| y.min(e.y)));
+        }
+        let y = match next_y {
+            Some(y) => y,
+            None => break,
+        };
+
+        // Consume every record at exactly this y.
+        while let Some(e) = span_reader.peek()? {
+            if e.y > y {
+                break;
+            }
+            let e = span_reader.next_record()?.expect("peeked span event");
+            for i in e.slab_lo as usize..=(e.slab_hi as usize).min(m.saturating_sub(1)) {
+                up_sum[i] += e.delta();
+            }
+        }
+        for (i, reader) in readers.iter_mut().enumerate() {
+            while let Some(t) = reader.peek()? {
+                if t.y > y {
+                    break;
+                }
+                tslab[i] = reader.next_record()?.expect("peeked slab tuple");
+            }
+        }
+
+        // Pick the best total over the sub-slabs and emit its max-interval.
+        let mut best_idx = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..m {
+            let total = tslab[i].sum + up_sum[i];
+            if total > best {
+                best = total;
+                best_idx = i;
+            }
+        }
+        let winner = &tslab[best_idx];
+        writer.push(&SlabTuple::new(y, winner.x_lo, winner.x_hi, best))?;
+    }
+
+    writer.finish().map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane_sweep::{best_region_from_tuples, plane_sweep_slab};
+    use crate::records::RectRecord;
+    use maxrs_em::EmConfig;
+    use maxrs_geometry::Rect;
+
+    fn ctx() -> EmContext {
+        EmContext::new(EmConfig::new(256, 4096).unwrap())
+    }
+
+    fn rect(x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64, w: f64) -> RectRecord {
+        RectRecord::new(Rect::new(x_lo, x_hi, y_lo, y_hi), w)
+    }
+
+    /// Merging the slab-files of a vertical split must give the same best
+    /// region as sweeping everything in one slab.
+    #[test]
+    fn merge_matches_single_slab_sweep() {
+        let ctx = ctx();
+        let rects = vec![
+            rect(0.0, 4.0, 0.0, 4.0, 1.0),
+            rect(2.0, 6.0, 1.0, 5.0, 1.0),
+            rect(3.0, 7.0, 2.0, 6.0, 1.0),
+            rect(11.0, 13.0, 0.0, 2.0, 1.0),
+            rect(12.0, 14.0, 1.0, 3.0, 1.0),
+        ];
+        // Reference: sweep the whole plane at once.
+        let reference = plane_sweep_slab(&rects, Interval::UNBOUNDED);
+        let expected = best_region_from_tuples(&reference).unwrap();
+
+        // Split at x = 5: rectangles are cropped, none spans the whole slab.
+        let boundary = 5.0;
+        let left_slab = Interval::new(f64::NEG_INFINITY, boundary);
+        let right_slab = Interval::new(boundary, f64::INFINITY);
+        let left_tuples = plane_sweep_slab(&rects, left_slab);
+        let right_tuples = plane_sweep_slab(&rects, right_slab);
+
+        let left_file = ctx.write_all(&left_tuples).unwrap();
+        let right_file = ctx.write_all(&right_tuples).unwrap();
+        let no_spans = ctx.write_all::<SpanEvent>(&[]).unwrap();
+
+        let merged = merge_sweep(
+            &ctx,
+            &[left_file, right_file],
+            &[left_slab, right_slab],
+            &no_spans,
+        )
+        .unwrap();
+        let merged_tuples = ctx.read_all(&merged).unwrap();
+        let got = best_region_from_tuples(&merged_tuples).unwrap();
+        assert_eq!(got.total_weight, expected.total_weight);
+    }
+
+    /// Spanning rectangles must raise the sums of the slabs they cover, even
+    /// when those slabs have no tuples of their own at that y.
+    #[test]
+    fn spanning_rectangles_contribute_up_sum() {
+        let ctx = ctx();
+        // Two sub-slabs [0,10) and [10,20). A single rectangle lives in the
+        // right slab; a spanning rectangle covers the left slab entirely
+        // between y=0 and y=10 with weight 5.
+        let left_slab = Interval::new(0.0, 10.0);
+        let right_slab = Interval::new(10.0, 20.0);
+        let right_tuples = plane_sweep_slab(&[rect(12.0, 15.0, 2.0, 4.0, 2.0)], right_slab);
+        let left_file = ctx.write_all::<SlabTuple>(&[]).unwrap();
+        let right_file = ctx.write_all(&right_tuples).unwrap();
+        let spans: Vec<SpanEvent> = SpanEvent::pair(0.0, 10.0, 5.0, 0, 0).to_vec();
+        let span_file = ctx.write_all(&spans).unwrap();
+
+        let merged = merge_sweep(
+            &ctx,
+            &[left_file, right_file],
+            &[left_slab, right_slab],
+            &span_file,
+        )
+        .unwrap();
+        let tuples = ctx.read_all(&merged).unwrap();
+        let best = best_region_from_tuples(&tuples).unwrap();
+        // The best achievable sum is the spanning weight 5 over the left slab
+        // (the right slab's own rectangle only reaches 2).
+        assert_eq!(best.total_weight, 5.0);
+        assert!(best.region.x_hi <= 10.0);
+        // The sweep must emit tuples at the span edges y=0 and y=10 as well as
+        // at the right-slab h-lines.
+        let ys: Vec<f64> = tuples.iter().map(|t| t.y).collect();
+        assert!(ys.contains(&0.0));
+        assert!(ys.contains(&10.0));
+        assert!(ys.contains(&2.0));
+        assert!(ys.contains(&4.0));
+        // After y=10 the spanning weight is gone.
+        let after = tuples.iter().find(|t| t.y == 10.0).unwrap();
+        assert!(after.sum <= 2.0);
+    }
+
+    /// When adjacent sub-slabs tie, the leftmost max-interval wins; its
+    /// interior is guaranteed to attain the reported sum.
+    #[test]
+    fn ties_between_adjacent_slabs_pick_the_leftmost_interval() {
+        let ctx = ctx();
+        // One rectangle [2, 18] x [0, 4] with weight 3 split at x = 10.
+        let left_slab = Interval::new(f64::NEG_INFINITY, 10.0);
+        let right_slab = Interval::new(10.0, f64::INFINITY);
+        let left_tuples = plane_sweep_slab(&[rect(2.0, 10.0, 0.0, 4.0, 3.0)], left_slab);
+        let right_tuples = plane_sweep_slab(&[rect(10.0, 18.0, 0.0, 4.0, 3.0)], right_slab);
+        let left_file = ctx.write_all(&left_tuples).unwrap();
+        let right_file = ctx.write_all(&right_tuples).unwrap();
+        let no_spans = ctx.write_all::<SpanEvent>(&[]).unwrap();
+        let merged = merge_sweep(
+            &ctx,
+            &[left_file, right_file],
+            &[left_slab, right_slab],
+            &no_spans,
+        )
+        .unwrap();
+        let tuples = ctx.read_all(&merged).unwrap();
+        let at_bottom = tuples.iter().find(|t| t.y == 0.0).unwrap();
+        assert_eq!(at_bottom.sum, 3.0);
+        assert_eq!(at_bottom.x_lo, 2.0);
+        assert_eq!(at_bottom.x_hi, 10.0, "leftmost tying interval is reported");
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let ctx = ctx();
+        let files = [
+            ctx.write_all::<SlabTuple>(&[]).unwrap(),
+            ctx.write_all::<SlabTuple>(&[]).unwrap(),
+        ];
+        let spans = ctx.write_all::<SpanEvent>(&[]).unwrap();
+        let merged = merge_sweep(
+            &ctx,
+            &files,
+            &[Interval::new(0.0, 1.0), Interval::new(1.0, 2.0)],
+            &spans,
+        )
+        .unwrap();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let ctx = ctx();
+        let files = [ctx.write_all::<SlabTuple>(&[]).unwrap()];
+        let spans = ctx.write_all::<SpanEvent>(&[]).unwrap();
+        let err = merge_sweep(&ctx, &files, &[], &spans).unwrap_err();
+        assert!(matches!(err, CoreError::Internal(_)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Brute-force reference implementations.
+//!
+//! These run in `O(n³)` time and exist to validate the real algorithms in unit,
+//! integration and property-based tests.  They evaluate the objective on one
+//! candidate point per cell of the arrangement of transformed rectangles
+//! (respectively circles), which provably contains an optimal placement.
+
+use maxrs_geometry::{
+    range_sum_circle, range_sum_rect, Point, Rect, RectSize, WeightedPoint,
+};
+
+use crate::result::{MaxCrsResult, MaxRsResult};
+
+/// Exhaustively solves MaxRS by evaluating the range sum at one interior point
+/// of every cell of the breakpoint grid.
+///
+/// The location-weight function is piecewise constant over the grid induced by
+/// the vertical lines `x = o.x ± d1/2` and horizontal lines `y = o.y ± d2/2`;
+/// testing one interior point per cell therefore finds the exact optimum
+/// (under the paper's open-boundary semantics).
+pub fn brute_force_max_rs(objects: &[WeightedPoint], size: RectSize) -> MaxRsResult {
+    if objects.is_empty() {
+        return MaxRsResult::empty();
+    }
+    let xs = breakpoints(objects.iter().map(|o| o.point.x), size.width / 2.0);
+    let ys = breakpoints(objects.iter().map(|o| o.point.y), size.height / 2.0);
+    let mut best = MaxRsResult {
+        center: Point::new(xs[0] - 1.0, ys[0] - 1.0),
+        total_weight: 0.0,
+        region: Rect::new(xs[0] - 2.0, xs[0] - 1.0, ys[0] - 2.0, ys[0] - 1.0),
+    };
+    for wx in xs.windows(2) {
+        let cx = (wx[0] + wx[1]) / 2.0;
+        for wy in ys.windows(2) {
+            let cy = (wy[0] + wy[1]) / 2.0;
+            let p = Point::new(cx, cy);
+            let w = range_sum_rect(objects, p, size);
+            if w > best.total_weight {
+                best = MaxRsResult {
+                    center: p,
+                    total_weight: w,
+                    region: Rect::new(wx[0], wx[1], wy[0], wy[1]),
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Exhaustively solves MaxCRS (with *closed* disks, see the module docs of
+/// [`crate::crs_exact`]) by testing every disk center and every intersection
+/// point of two disk boundaries.
+pub fn brute_force_max_crs(objects: &[WeightedPoint], diameter: f64) -> MaxCrsResult {
+    if objects.is_empty() {
+        return MaxCrsResult::empty();
+    }
+    let radius = diameter / 2.0;
+    let mut candidates: Vec<Point> = objects.iter().map(|o| o.point).collect();
+    for i in 0..objects.len() {
+        for j in (i + 1)..objects.len() {
+            let a = objects[i].to_circle(diameter);
+            let b = objects[j].to_circle(diameter);
+            if let Some(points) = a.boundary_intersections(&b) {
+                candidates.extend_from_slice(&points);
+            }
+        }
+    }
+    let mut best = MaxCrsResult::empty();
+    best.center = objects[0].point;
+    for p in candidates {
+        // Closed-disk evaluation: the candidate points lie exactly on circle
+        // boundaries, so the open-boundary objective would systematically miss
+        // them; see crs_exact for the discussion.
+        let w: f64 = objects
+            .iter()
+            .filter(|o| o.point.distance_sq(&p) <= radius * radius + 1e-9)
+            .map(|o| o.weight)
+            .sum();
+        if w > best.total_weight {
+            best = MaxCrsResult {
+                center: p,
+                total_weight: w,
+            };
+        }
+    }
+    best
+}
+
+/// Evaluates the MaxCRS objective with open disks at a given point; re-exported
+/// for tests that want to compare approximate answers against optimal ones.
+pub fn circle_objective(objects: &[WeightedPoint], center: Point, diameter: f64) -> f64 {
+    range_sum_circle(objects, center, diameter)
+}
+
+/// Evaluates the MaxRS objective with open boundaries at a given point.
+pub fn rect_objective(objects: &[WeightedPoint], center: Point, size: RectSize) -> f64 {
+    range_sum_rect(objects, center, size)
+}
+
+/// All breakpoint coordinates (`c ± half`) plus sentinels, sorted and deduped.
+fn breakpoints(coords: impl Iterator<Item = f64>, half: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for c in coords {
+        out.push(c - half);
+        out.push(c + half);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.dedup();
+    // Sentinels so that windows(2) also covers the outside cells.
+    let lo = out.first().copied().unwrap_or(0.0) - 1.0;
+    let hi = out.last().copied().unwrap_or(0.0) + 1.0;
+    out.insert(0, lo);
+    out.push(hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(
+            brute_force_max_rs(&[], RectSize::square(2.0)).total_weight,
+            0.0
+        );
+        assert_eq!(brute_force_max_crs(&[], 2.0).total_weight, 0.0);
+    }
+
+    #[test]
+    fn single_object() {
+        let objects = vec![WeightedPoint::at(5.0, 5.0, 3.0)];
+        let r = brute_force_max_rs(&objects, RectSize::square(2.0));
+        assert_eq!(r.total_weight, 3.0);
+        assert_eq!(rect_objective(&objects, r.center, RectSize::square(2.0)), 3.0);
+        let c = brute_force_max_crs(&objects, 2.0);
+        assert_eq!(c.total_weight, 3.0);
+    }
+
+    #[test]
+    fn two_clusters_rect() {
+        // Three objects close together (total 3) vs two heavy objects (total 4).
+        let objects = vec![
+            WeightedPoint::unit(0.0, 0.0),
+            WeightedPoint::unit(0.5, 0.5),
+            WeightedPoint::unit(0.2, 0.8),
+            WeightedPoint::at(10.0, 10.0, 2.0),
+            WeightedPoint::at(10.5, 10.5, 2.0),
+        ];
+        let r = brute_force_max_rs(&objects, RectSize::square(2.0));
+        assert_eq!(r.total_weight, 4.0);
+        assert!(r.center.x > 5.0, "optimum must be at the heavy cluster");
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // Eight unit objects coverable by a 4x3 rectangle, plus scattered noise.
+        let mut objects = vec![
+            WeightedPoint::unit(10.0, 10.0),
+            WeightedPoint::unit(10.5, 11.0),
+            WeightedPoint::unit(11.0, 10.2),
+            WeightedPoint::unit(11.5, 11.5),
+            WeightedPoint::unit(12.0, 10.8),
+            WeightedPoint::unit(12.5, 11.2),
+            WeightedPoint::unit(13.0, 10.4),
+            WeightedPoint::unit(13.2, 12.0),
+        ];
+        objects.push(WeightedPoint::unit(0.0, 0.0));
+        objects.push(WeightedPoint::unit(30.0, 0.0));
+        objects.push(WeightedPoint::unit(0.0, 30.0));
+        let r = brute_force_max_rs(&objects, RectSize::new(4.0, 3.0));
+        assert_eq!(r.total_weight, 8.0);
+    }
+
+    #[test]
+    fn circle_excludes_far_points() {
+        let objects = vec![
+            WeightedPoint::unit(0.0, 0.0),
+            WeightedPoint::unit(1.0, 0.0),
+            WeightedPoint::unit(0.5, 0.8),
+            WeightedPoint::unit(100.0, 100.0),
+        ];
+        let c = brute_force_max_crs(&objects, 2.5);
+        assert_eq!(c.total_weight, 3.0);
+        // The rectangle version with the MBR of that circle covers the same three.
+        let r = brute_force_max_rs(&objects, RectSize::square(2.5));
+        assert_eq!(r.total_weight, 3.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Result types returned by the MaxRS / MaxCRS algorithms.
+
+use maxrs_geometry::{Point, Rect, Weight};
+use serde::{Deserialize, Serialize};
+
+/// Result of a MaxRS query.
+///
+/// The optimal placement is not a single point but a whole *max-region*: every
+/// center inside [`region`](MaxRsResult::region) covers the same (maximum)
+/// total weight.  [`center`](MaxRsResult::center) is a representative interior
+/// point of that region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxRsResult {
+    /// A point of the max-region: an optimal center for the query rectangle.
+    pub center: Point,
+    /// The maximum achievable range sum.
+    pub total_weight: Weight,
+    /// The max-region: the set of optimal centers found by the algorithm
+    /// (x-bounds may be infinite when the dataset is empty).
+    pub region: Rect,
+}
+
+impl MaxRsResult {
+    /// A result describing an empty dataset (weight 0 everywhere).
+    pub fn empty() -> Self {
+        MaxRsResult {
+            center: Point::ORIGIN,
+            total_weight: 0.0,
+            region: Rect::new(
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+            ),
+        }
+    }
+}
+
+/// Result of a MaxCRS query (exact or approximate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxCrsResult {
+    /// The chosen circle center.
+    pub center: Point,
+    /// Total weight covered by the circle centered at `center`.
+    pub total_weight: Weight,
+}
+
+impl MaxCrsResult {
+    /// A result describing an empty dataset.
+    pub fn empty() -> Self {
+        MaxCrsResult {
+            center: Point::ORIGIN,
+            total_weight: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_results() {
+        let r = MaxRsResult::empty();
+        assert_eq!(r.total_weight, 0.0);
+        assert_eq!(r.center, Point::ORIGIN);
+        assert!(r.region.x_lo.is_infinite());
+        let c = MaxCrsResult::empty();
+        assert_eq!(c.total_weight, 0.0);
+    }
+
+    #[test]
+    fn result_construction() {
+        let r = MaxRsResult {
+            center: Point::new(1.0, 2.0),
+            total_weight: 5.0,
+            region: Rect::new(0.0, 2.0, 1.0, 3.0),
+        };
+        assert!(r.region.contains_closed(&r.center));
+        let c = MaxCrsResult {
+            center: Point::new(3.0, 4.0),
+            total_weight: 2.0,
+        };
+        assert_eq!(c.center, Point::new(3.0, 4.0));
+    }
+}

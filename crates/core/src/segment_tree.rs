@@ -1,0 +1,313 @@
+//! A segment tree with range-add and maximum queries over the elementary
+//! x-intervals of a slab.
+//!
+//! The in-memory plane sweep (Section 4 of the paper, Imai–Asano) sweeps a
+//! horizontal line and needs, after every insertion / deletion of a
+//! rectangle's x-range, (a) the maximum location-weight over the slab and
+//! (b) one contiguous run of elementary intervals attaining it.  Both are
+//! answered in `O(log n)` by this tree.
+
+/// Range-add / range-max segment tree over `n` leaves with lazy propagation.
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    n: usize,
+    /// `max[v]` = maximum leaf value in the subtree of `v`, including every
+    /// pending addition stored at `v` or above it... pending additions at `v`
+    /// itself are already folded in; `lazy[v]` still has to be pushed to the
+    /// children before they are inspected.
+    max: Vec<f64>,
+    lazy: Vec<f64>,
+}
+
+impl SegmentTree {
+    /// Creates a tree over `n` leaves, all initialized to 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "segment tree needs at least one leaf");
+        SegmentTree {
+            n,
+            max: vec![0.0; 4 * n],
+            lazy: vec![0.0; 4 * n],
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the tree has no leaves (never the case; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `delta` to every leaf in `[lo, hi)` (half-open leaf index range).
+    /// Empty ranges are ignored.
+    pub fn range_add(&mut self, lo: usize, hi: usize, delta: f64) {
+        if lo >= hi {
+            return;
+        }
+        assert!(hi <= self.n, "range end {hi} exceeds leaf count {}", self.n);
+        self.add(1, 0, self.n, lo, hi, delta);
+    }
+
+    /// The maximum leaf value.
+    pub fn global_max(&self) -> f64 {
+        self.max[1]
+    }
+
+    /// Value of a single leaf (mainly for tests and assertions).
+    pub fn leaf_value(&self, idx: usize) -> f64 {
+        assert!(idx < self.n);
+        self.leaf(1, 0, self.n, idx, 0.0)
+    }
+
+    /// Returns a leaf attaining the global maximum (the leftmost one on the
+    /// argmax path).
+    ///
+    /// The in-memory plane sweep reports this single elementary interval as
+    /// the max-interval: its *interior* is guaranteed to consist of optimal
+    /// points even under the paper's open-boundary semantics, which a longer
+    /// run (possibly containing rectangle edges in its interior) cannot
+    /// guarantee.  See the module docs of [`crate::plane_sweep`].
+    ///
+    /// The search descends by comparing sibling maxima only (never a
+    /// recomputed value against the root maximum), so it cannot be derailed by
+    /// floating-point re-association when weights are not exactly
+    /// representable.
+    pub fn max_leaf(&self) -> usize {
+        let mut v = 1usize;
+        let mut node_lo = 0usize;
+        let mut node_hi = self.n;
+        while node_hi - node_lo > 1 {
+            let mid = (node_lo + node_hi) / 2;
+            if self.max[2 * v] >= self.max[2 * v + 1] {
+                v *= 2;
+                node_hi = mid;
+            } else {
+                v = 2 * v + 1;
+                node_lo = mid;
+            }
+        }
+        node_lo
+    }
+
+    /// Returns the leftmost maximal run `[lo, hi)` of leaves whose value
+    /// equals the global maximum.
+    ///
+    /// Equality is exact: leaves covered by the same set of additions hold
+    /// bit-identical sums, so the run faithfully describes one max-interval.
+    pub fn max_run(&self) -> (usize, usize) {
+        let target = self.global_max();
+        let start = self
+            .find_first_at_least(1, 0, self.n, target, 0.0)
+            .expect("global max must be attained by some leaf");
+        // Find the first leaf after `start` whose value is strictly below the
+        // maximum; the run ends there.
+        let end = self
+            .find_first_below(1, 0, self.n, start, target, 0.0)
+            .unwrap_or(self.n);
+        (start, end)
+    }
+
+    // ---- internals -----------------------------------------------------------
+
+    fn add(&mut self, v: usize, node_lo: usize, node_hi: usize, lo: usize, hi: usize, delta: f64) {
+        if lo <= node_lo && node_hi <= hi {
+            self.max[v] += delta;
+            self.lazy[v] += delta;
+            return;
+        }
+        let mid = (node_lo + node_hi) / 2;
+        if lo < mid {
+            self.add(2 * v, node_lo, mid, lo, hi.min(mid), delta);
+        }
+        if hi > mid {
+            self.add(2 * v + 1, mid, node_hi, lo.max(mid), hi, delta);
+        }
+        self.max[v] = self.max[2 * v].max(self.max[2 * v + 1]) + self.lazy[v];
+    }
+
+    fn leaf(&self, v: usize, node_lo: usize, node_hi: usize, idx: usize, acc: f64) -> f64 {
+        if node_hi - node_lo == 1 {
+            return self.max[v] + acc;
+        }
+        let acc = acc + self.lazy[v];
+        let mid = (node_lo + node_hi) / 2;
+        if idx < mid {
+            self.leaf(2 * v, node_lo, mid, idx, acc)
+        } else {
+            self.leaf(2 * v + 1, mid, node_hi, idx, acc)
+        }
+    }
+
+    /// Leftmost leaf whose value is `>= target`, or `None`.
+    fn find_first_at_least(
+        &self,
+        v: usize,
+        node_lo: usize,
+        node_hi: usize,
+        target: f64,
+        acc: f64,
+    ) -> Option<usize> {
+        if self.max[v] + acc < target {
+            return None;
+        }
+        if node_hi - node_lo == 1 {
+            return Some(node_lo);
+        }
+        let acc = acc + self.lazy[v];
+        let mid = (node_lo + node_hi) / 2;
+        self.find_first_at_least(2 * v, node_lo, mid, target, acc)
+            .or_else(|| self.find_first_at_least(2 * v + 1, mid, node_hi, target, acc))
+    }
+
+    /// Leftmost leaf at index `>= from` whose value is `< target`, or `None`.
+    fn find_first_below(
+        &self,
+        v: usize,
+        node_lo: usize,
+        node_hi: usize,
+        from: usize,
+        target: f64,
+        acc: f64,
+    ) -> Option<usize> {
+        if node_hi <= from {
+            return None;
+        }
+        // If every leaf of this subtree is >= target it cannot contain the answer
+        // ... only when the subtree minimum is >= target.  We do not track
+        // minima, so descend unless the subtree lies left of `from`; the
+        // traversal is still O(run length + log n), which is fine because the
+        // run is part of the output.
+        if node_hi - node_lo == 1 {
+            return if self.max[v] + acc < target {
+                Some(node_lo)
+            } else {
+                None
+            };
+        }
+        let acc = acc + self.lazy[v];
+        let mid = (node_lo + node_hi) / 2;
+        self.find_first_below(2 * v, node_lo, mid, from, target, acc)
+            .or_else(|| self.find_first_below(2 * v + 1, mid, node_hi, from, target, acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force model used to validate the tree.
+    struct Model(Vec<f64>);
+    impl Model {
+        fn new(n: usize) -> Self {
+            Model(vec![0.0; n])
+        }
+        fn range_add(&mut self, lo: usize, hi: usize, d: f64) {
+            for v in &mut self.0[lo..hi] {
+                *v += d;
+            }
+        }
+        fn global_max(&self) -> f64 {
+            self.0.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        }
+        fn max_run(&self) -> (usize, usize) {
+            let m = self.global_max();
+            let start = self.0.iter().position(|&v| v == m).unwrap();
+            let end = self.0[start..]
+                .iter()
+                .position(|&v| v != m)
+                .map(|p| start + p)
+                .unwrap_or(self.0.len());
+            (start, end)
+        }
+    }
+
+    #[test]
+    fn single_leaf() {
+        let mut t = SegmentTree::new(1);
+        assert_eq!(t.global_max(), 0.0);
+        assert_eq!(t.max_run(), (0, 1));
+        t.range_add(0, 1, 5.0);
+        assert_eq!(t.global_max(), 5.0);
+        assert_eq!(t.leaf_value(0), 5.0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn basic_overlaps() {
+        let mut t = SegmentTree::new(8);
+        t.range_add(0, 4, 1.0);
+        t.range_add(2, 6, 1.0);
+        t.range_add(3, 8, 1.0);
+        // values: 1 1 2 3 2 2 1 1
+        assert_eq!(t.global_max(), 3.0);
+        assert_eq!(t.max_run(), (3, 4));
+        assert_eq!(t.max_leaf(), 3);
+        for (i, expected) in [1.0, 1.0, 2.0, 3.0, 2.0, 2.0, 1.0, 1.0].iter().enumerate() {
+            assert_eq!(t.leaf_value(i), *expected, "leaf {i}");
+        }
+        t.range_add(2, 6, -1.0);
+        // values: 1 1 1 2 1 1 1 1
+        assert_eq!(t.global_max(), 2.0);
+        assert_eq!(t.max_run(), (3, 4));
+        t.range_add(3, 4, -2.0);
+        // values: 1 1 1 0 1 1 1 1 -> max run is the leftmost run of 1s
+        assert_eq!(t.global_max(), 1.0);
+        assert_eq!(t.max_run(), (0, 3));
+        assert_eq!(t.max_leaf(), 0);
+    }
+
+    #[test]
+    fn empty_and_full_ranges() {
+        let mut t = SegmentTree::new(5);
+        t.range_add(2, 2, 10.0); // empty range: no effect
+        assert_eq!(t.global_max(), 0.0);
+        t.range_add(0, 5, 2.5);
+        assert_eq!(t.global_max(), 2.5);
+        assert_eq!(t.max_run(), (0, 5));
+    }
+
+    #[test]
+    fn randomized_against_model() {
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in [1usize, 2, 3, 7, 16, 33, 100] {
+            let mut tree = SegmentTree::new(n);
+            let mut model = Model::new(n);
+            let mut active: Vec<(usize, usize, f64)> = Vec::new();
+            for step in 0..500 {
+                let remove = !active.is_empty() && (next() % 3 == 0 || step > 400);
+                if remove {
+                    let idx = (next() as usize) % active.len();
+                    let (lo, hi, w) = active.swap_remove(idx);
+                    tree.range_add(lo, hi, -w);
+                    model.range_add(lo, hi, -w);
+                } else {
+                    let lo = (next() as usize) % n;
+                    let hi = lo + 1 + (next() as usize) % (n - lo);
+                    let w = ((next() % 10) + 1) as f64;
+                    tree.range_add(lo, hi, w);
+                    model.range_add(lo, hi, w);
+                    active.push((lo, hi, w));
+                }
+                assert_eq!(tree.global_max(), model.global_max(), "n={n} step={step}");
+                assert_eq!(tree.max_run(), model.max_run(), "n={n} step={step}");
+                assert_eq!(tree.max_leaf(), model.max_run().0, "n={n} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut t = SegmentTree::new(4);
+        t.range_add(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Stress tests for the spanning-rectangle path of the distribution sweep.
+//!
+//! When the query rectangle is wide relative to the slab width, most
+//! transformed rectangles span several slabs, so the correctness of
+//! `upSum` bookkeeping in MergeSweep dominates the answer.  These tests build
+//! workloads where nearly every rectangle spans nearly every slab and check
+//! the external pipeline against the in-memory sweep and brute force.
+
+use maxrs_core::{
+    brute_force_max_rs, exact_max_rs_from_objects, max_rs_in_memory, rect_objective,
+    ExactMaxRsOptions,
+};
+use maxrs_em::{EmConfig, EmContext};
+use maxrs_geometry::{RectSize, WeightedPoint};
+
+fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 4.0).floor()))
+        .collect()
+}
+
+/// Query rectangles wider than the whole data extent: every transformed
+/// rectangle spans every interior slab.
+#[test]
+fn query_wider_than_the_data_space() {
+    let objects = pseudo_random_objects(400, 5, 100.0);
+    // 100-unit data extent, 500-unit wide and 30-unit tall query.
+    let size = RectSize::new(500.0, 30.0);
+    let reference = max_rs_in_memory(&objects, size);
+    let ctx = EmContext::new(EmConfig::new(512, 4 * 512).unwrap());
+    let opts = ExactMaxRsOptions {
+        memory_rects: Some(32),
+        fanout: Some(4),
+        ..Default::default()
+    };
+    let external = exact_max_rs_from_objects(&ctx, &objects, size, &opts).unwrap();
+    assert_eq!(external.total_weight, reference.total_weight);
+    assert_eq!(
+        rect_objective(&objects, external.center, size),
+        external.total_weight
+    );
+    // A 30-unit tall window over 100 units of y cannot usually cover everything.
+    let total: f64 = objects.iter().map(|o| o.weight).sum();
+    assert!(external.total_weight <= total);
+}
+
+/// Mixed aspect ratios, including extremely tall and extremely wide queries.
+#[test]
+fn extreme_aspect_ratios_match_brute_force() {
+    let objects = pseudo_random_objects(50, 77, 60.0);
+    for (w, h) in [(1.0, 200.0), (200.0, 1.0), (80.0, 3.0), (3.0, 80.0)] {
+        let size = RectSize::new(w, h);
+        let brute = brute_force_max_rs(&objects, size);
+        let ctx = EmContext::new(EmConfig::new(512, 4 * 512).unwrap());
+        let opts = ExactMaxRsOptions {
+            memory_rects: Some(16),
+            fanout: Some(3),
+            ..Default::default()
+        };
+        let external = exact_max_rs_from_objects(&ctx, &objects, size, &opts).unwrap();
+        assert_eq!(
+            external.total_weight, brute.total_weight,
+            "query {w}x{h} disagrees with brute force"
+        );
+        assert_eq!(
+            rect_objective(&objects, external.center, size),
+            external.total_weight
+        );
+    }
+}
+
+/// Clustered columns: objects arranged in a few dense vertical strips, so slab
+/// boundaries fall inside clusters and many pieces + spans are produced.
+#[test]
+fn dense_vertical_strips() {
+    let mut objects = Vec::new();
+    let mut state = 99u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for strip in 0..5 {
+        let x0 = 100.0 * strip as f64;
+        for _ in 0..80 {
+            objects.push(WeightedPoint::at(x0 + next() * 2.0, next() * 300.0, 1.0));
+        }
+    }
+    let size = RectSize::new(150.0, 40.0);
+    let reference = max_rs_in_memory(&objects, size);
+    for fanout in [2usize, 5, 9] {
+        let ctx = EmContext::new(EmConfig::new(512, 4 * 512).unwrap());
+        let opts = ExactMaxRsOptions {
+            memory_rects: Some(40),
+            fanout: Some(fanout),
+            ..Default::default()
+        };
+        let external = exact_max_rs_from_objects(&ctx, &objects, size, &opts).unwrap();
+        assert_eq!(
+            external.total_weight, reference.total_weight,
+            "fanout={fanout}"
+        );
+    }
+}

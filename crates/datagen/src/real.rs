@@ -1,0 +1,181 @@
+//! Deterministic surrogates for the paper's real datasets (Table 2).
+//!
+//! The originals were distributed by the R-tree portal (rtreeportal.org),
+//! which is no longer online:
+//!
+//! * **UX** — points of the USA and Mexico, 19,499 objects.  Sparse; the
+//!   points follow coast lines, borders and population corridors, leaving most
+//!   of the space empty.
+//! * **NE** — points of the North-East USA, 123,593 objects.  Much denser,
+//!   dominated by a handful of metropolitan clusters over a diffuse
+//!   background.
+//!
+//! The surrogates below reproduce the three properties the experiments of
+//! Figures 15–17 actually depend on: the exact cardinality, the normalized
+//! `[0, 10^6]²` space, and the skewed (clustered / chain-like) spatial
+//! distribution that distinguishes them from the synthetic workloads.
+
+use maxrs_geometry::WeightedPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::synthetic::SPACE_EXTENT;
+
+/// Cardinality of the UX dataset (Table 2).
+pub const UX_CARDINALITY: usize = 19_499;
+/// Cardinality of the NE dataset (Table 2).
+pub const NE_CARDINALITY: usize = 123_593;
+
+/// Surrogate of the UX dataset: `n` points (use [`UX_CARDINALITY`] for the
+/// paper's size) arranged along a few long, thin chains plus small clusters,
+/// normalized to `[0, 10^6]²`.
+pub fn ux_surrogate(n: usize, seed: u64) -> Vec<WeightedPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5558_0001);
+    let extent = SPACE_EXTENT;
+    // Chains emulating coastlines / borders: quadratic arcs across the space.
+    let chains: Vec<(f64, f64, f64, f64, f64)> = vec![
+        // (x0, y0, x1, y1, bulge)
+        (0.05, 0.2, 0.45, 0.9, 0.25),
+        (0.2, 0.05, 0.95, 0.35, -0.15),
+        (0.5, 0.5, 0.9, 0.95, 0.1),
+        (0.1, 0.6, 0.4, 0.2, 0.2),
+    ];
+    let clusters: Vec<(f64, f64, f64)> = vec![
+        (0.25, 0.75, 0.02),
+        (0.8, 0.3, 0.03),
+        (0.6, 0.7, 0.015),
+        (0.45, 0.25, 0.02),
+        (0.9, 0.85, 0.01),
+    ];
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r: f64 = rng.gen();
+        let (x, y) = if r < 0.6 {
+            // On a chain.
+            let (x0, y0, x1, y1, bulge) = chains[rng.gen_range(0..chains.len())];
+            let t: f64 = rng.gen();
+            let nx = x0 + (x1 - x0) * t + bulge * (4.0 * t * (1.0 - t));
+            let ny = y0 + (y1 - y0) * t + bulge * (4.0 * t * (1.0 - t)) * 0.5;
+            let jitter = 0.004;
+            (
+                nx + rng.gen_range(-jitter..jitter),
+                ny + rng.gen_range(-jitter..jitter),
+            )
+        } else if r < 0.9 {
+            // In a cluster.
+            let (cx, cy, sigma) = clusters[rng.gen_range(0..clusters.len())];
+            let normal = Normal::new(0.0, sigma).expect("valid normal");
+            (cx + normal.sample(&mut rng), cy + normal.sample(&mut rng))
+        } else {
+            // Sparse background.
+            (rng.gen(), rng.gen())
+        };
+        if (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y) {
+            out.push(WeightedPoint::unit(x * extent, y * extent));
+        }
+    }
+    out
+}
+
+/// Surrogate of the NE dataset: `n` points (use [`NE_CARDINALITY`] for the
+/// paper's size) drawn from a dense mixture of metropolitan clusters over a
+/// diffuse background, normalized to `[0, 10^6]²`.
+pub fn ne_surrogate(n: usize, seed: u64) -> Vec<WeightedPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E45_0002);
+    let extent = SPACE_EXTENT;
+    // Cluster centers loosely following an arc (the I-95 corridor).
+    let clusters: Vec<(f64, f64, f64, f64)> = vec![
+        // (cx, cy, sigma, relative mass)
+        (0.15, 0.15, 0.03, 0.18),
+        (0.3, 0.3, 0.04, 0.22),
+        (0.45, 0.45, 0.03, 0.15),
+        (0.55, 0.6, 0.05, 0.12),
+        (0.7, 0.7, 0.04, 0.13),
+        (0.85, 0.85, 0.03, 0.08),
+        (0.25, 0.6, 0.06, 0.06),
+        (0.65, 0.35, 0.06, 0.06),
+    ];
+    let total_mass: f64 = clusters.iter().map(|c| c.3).sum();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r: f64 = rng.gen();
+        let (x, y) = if r < 0.85 {
+            // Pick a cluster proportionally to its mass.
+            let mut pick = rng.gen_range(0.0..total_mass);
+            let mut chosen = clusters[0];
+            for c in &clusters {
+                if pick < c.3 {
+                    chosen = *c;
+                    break;
+                }
+                pick -= c.3;
+            }
+            let normal = Normal::new(0.0, chosen.2).expect("valid normal");
+            (
+                chosen.0 + normal.sample(&mut rng),
+                chosen.1 + normal.sample(&mut rng),
+            )
+        } else {
+            (rng.gen(), rng.gen())
+        };
+        if (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y) {
+            out.push(WeightedPoint::unit(x * extent, y * extent));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_table2() {
+        assert_eq!(UX_CARDINALITY, 19_499);
+        assert_eq!(NE_CARDINALITY, 123_593);
+    }
+
+    #[test]
+    fn surrogates_have_requested_size_and_extent() {
+        let ux = ux_surrogate(5000, 1);
+        let ne = ne_surrogate(5000, 1);
+        assert_eq!(ux.len(), 5000);
+        assert_eq!(ne.len(), 5000);
+        for p in ux.iter().chain(ne.iter()) {
+            assert!((0.0..=SPACE_EXTENT).contains(&p.point.x));
+            assert!((0.0..=SPACE_EXTENT).contains(&p.point.y));
+            assert_eq!(p.weight, 1.0);
+        }
+    }
+
+    #[test]
+    fn surrogates_are_deterministic() {
+        assert_eq!(ux_surrogate(1000, 3), ux_surrogate(1000, 3));
+        assert_eq!(ne_surrogate(1000, 3), ne_surrogate(1000, 3));
+        assert_ne!(ux_surrogate(1000, 3), ux_surrogate(1000, 4));
+    }
+
+    #[test]
+    fn surrogates_are_skewed_not_uniform() {
+        // Measure skew by counting occupied cells of a coarse grid: clustered
+        // data occupies far fewer cells than uniform data of the same size.
+        fn occupied_cells(points: &[WeightedPoint]) -> usize {
+            use std::collections::HashSet;
+            let mut cells = HashSet::new();
+            for p in points {
+                cells.insert((
+                    (p.point.x / (SPACE_EXTENT / 32.0)) as i64,
+                    (p.point.y / (SPACE_EXTENT / 32.0)) as i64,
+                ));
+            }
+            cells.len()
+        }
+        let n = 8000;
+        let ux = occupied_cells(&ux_surrogate(n, 5));
+        let ne = occupied_cells(&ne_surrogate(n, 5));
+        let uni = occupied_cells(&crate::synthetic::uniform(n, SPACE_EXTENT, 5));
+        assert!(ux < uni, "UX must be more clustered than uniform ({ux} vs {uni})");
+        assert!(ne < uni, "NE must be more clustered than uniform ({ne} vs {uni})");
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthetic datasets: uniform and Gaussian distributions (Table 3).
+
+use maxrs_geometry::WeightedPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Side length of the default data space (`1M × 1M` in the paper).
+pub const SPACE_EXTENT: f64 = 1_000_000.0;
+
+/// `n` points uniformly distributed over `[0, extent]²`, all of weight 1.
+pub fn uniform(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
+    assert!(extent > 0.0, "extent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            WeightedPoint::unit(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))
+        })
+        .collect()
+}
+
+/// `n` points following a 2-D Gaussian centered in the space (σ = extent / 8),
+/// clamped to `[0, extent]²`, all of weight 1.
+///
+/// The paper's "Gaussian distribution" datasets concentrate the objects around
+/// the center of the space, which makes the rectangle-overlap probability (and
+/// therefore the baselines' interval insertions) noticeably higher than in the
+/// uniform case — the effect visible when comparing Figures 12(a) and 12(b).
+pub fn gaussian(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
+    assert!(extent > 0.0, "extent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(extent / 2.0, extent / 8.0).expect("valid normal");
+    (0..n)
+        .map(|_| {
+            let x: f64 = normal.sample(&mut rng).clamp(0.0, extent);
+            let y: f64 = normal.sample(&mut rng).clamp(0.0, extent);
+            WeightedPoint::unit(x, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_properties() {
+        let pts = uniform(2000, 1000.0, 7);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|p| p.weight == 1.0));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=1000.0).contains(&p.point.x) && (0.0..=1000.0).contains(&p.point.y)));
+        // Roughly balanced across the two halves of the space.
+        let left = pts.iter().filter(|p| p.point.x < 500.0).count();
+        assert!((800..1200).contains(&left), "left half has {left} points");
+    }
+
+    #[test]
+    fn gaussian_concentrates_at_the_center() {
+        let pts = gaussian(2000, 1000.0, 7);
+        assert_eq!(pts.len(), 2000);
+        let central = pts
+            .iter()
+            .filter(|p| (p.point.x - 500.0).abs() < 250.0 && (p.point.y - 500.0).abs() < 250.0)
+            .count();
+        // ~95% of a Gaussian with sigma=125 lies within +-250 of the mean.
+        assert!(central > 1700, "only {central} of 2000 points are central");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(uniform(100, 1000.0, 42), uniform(100, 1000.0, 42));
+        assert_eq!(gaussian(100, 1000.0, 42), gaussian(100, 1000.0, 42));
+        assert_ne!(uniform(100, 1000.0, 1), uniform(100, 1000.0, 2));
+    }
+}

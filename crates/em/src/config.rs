@@ -1,0 +1,148 @@
+//! EM model configuration: block size and buffer (main memory) size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EmError, Record, Result};
+
+/// Configuration of the external-memory model.
+///
+/// Mirrors the knobs of the paper's Table 3: the disk *block size* (default
+/// 4 KB) and the *buffer size* — the amount of main memory an algorithm may
+/// use (default 256 KB for the real datasets and 1024 KB for the synthetic
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmConfig {
+    /// Size of one disk block in bytes.
+    pub block_size: usize,
+    /// Size of the main-memory buffer in bytes.
+    pub buffer_bytes: usize,
+}
+
+impl EmConfig {
+    /// Default block size used throughout the paper (4 KB).
+    pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+    /// Default buffer size used for the synthetic experiments (1024 KB).
+    pub const DEFAULT_BUFFER_BYTES: usize = 1024 * 1024;
+
+    /// Creates a configuration, validating that the buffer holds at least two
+    /// blocks (the EM model's `M ≥ 2B` assumption) and that the block size is
+    /// positive.
+    pub fn new(block_size: usize, buffer_bytes: usize) -> Result<Self> {
+        if block_size == 0 {
+            return Err(EmError::InvalidConfig("block size must be positive".into()));
+        }
+        if buffer_bytes < 2 * block_size {
+            return Err(EmError::InvalidConfig(format!(
+                "buffer ({buffer_bytes} B) must hold at least two blocks of {block_size} B"
+            )));
+        }
+        Ok(EmConfig {
+            block_size,
+            buffer_bytes,
+        })
+    }
+
+    /// The paper's default configuration for synthetic datasets
+    /// (4 KB blocks, 1024 KB buffer).
+    pub fn paper_synthetic() -> Self {
+        EmConfig {
+            block_size: Self::DEFAULT_BLOCK_SIZE,
+            buffer_bytes: Self::DEFAULT_BUFFER_BYTES,
+        }
+    }
+
+    /// The paper's default configuration for real datasets
+    /// (4 KB blocks, 256 KB buffer).
+    pub fn paper_real() -> Self {
+        EmConfig {
+            block_size: Self::DEFAULT_BLOCK_SIZE,
+            buffer_bytes: 256 * 1024,
+        }
+    }
+
+    /// Number of block frames that fit in the buffer (`M/B` in blocks).
+    pub fn buffer_blocks(&self) -> usize {
+        self.buffer_bytes / self.block_size
+    }
+
+    /// Number of records of type `T` per block (`B` in records).
+    pub fn records_per_block<T: Record>(&self) -> usize {
+        (self.block_size / T::SIZE).max(1)
+    }
+
+    /// Number of records of type `T` that fit in the buffer (`M` in records).
+    pub fn mem_records<T: Record>(&self) -> usize {
+        self.buffer_bytes / T::SIZE
+    }
+
+    /// Number of blocks needed to store `n` records of type `T`.
+    pub fn blocks_for<T: Record>(&self, n: u64) -> u64 {
+        let per_block = self.records_per_block::<T>() as u64;
+        n.div_ceil(per_block)
+    }
+
+    /// Merge / distribution fan-out `m = Θ(M/B)`: the number of input streams
+    /// that can be processed simultaneously, leaving one block for the output
+    /// buffer and one block of slack.
+    pub fn fanout(&self) -> usize {
+        self.buffer_blocks().saturating_sub(2).max(2)
+    }
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig::paper_synthetic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct R16;
+    impl Record for R16 {
+        const SIZE: usize = 16;
+        fn encode(&self, _buf: &mut [u8]) {}
+        fn decode(_buf: &[u8]) -> Self {
+            R16
+        }
+    }
+
+    #[test]
+    fn defaults_match_paper_table3() {
+        let syn = EmConfig::paper_synthetic();
+        assert_eq!(syn.block_size, 4096);
+        assert_eq!(syn.buffer_bytes, 1024 * 1024);
+        let real = EmConfig::paper_real();
+        assert_eq!(real.buffer_bytes, 256 * 1024);
+        assert_eq!(EmConfig::default(), syn);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let cfg = EmConfig::new(4096, 64 * 1024).unwrap();
+        assert_eq!(cfg.buffer_blocks(), 16);
+        assert_eq!(cfg.records_per_block::<R16>(), 256);
+        assert_eq!(cfg.mem_records::<R16>(), 4096);
+        assert_eq!(cfg.blocks_for::<R16>(0), 0);
+        assert_eq!(cfg.blocks_for::<R16>(1), 1);
+        assert_eq!(cfg.blocks_for::<R16>(256), 1);
+        assert_eq!(cfg.blocks_for::<R16>(257), 2);
+        assert_eq!(cfg.fanout(), 14);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EmConfig::new(0, 4096).is_err());
+        assert!(EmConfig::new(4096, 4096).is_err());
+        assert!(EmConfig::new(4096, 8192).is_ok());
+    }
+
+    #[test]
+    fn fanout_never_below_two() {
+        let cfg = EmConfig::new(4096, 8192).unwrap();
+        assert_eq!(cfg.buffer_blocks(), 2);
+        assert_eq!(cfg.fanout(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! The EM context: configuration + disk + buffer pool.
+
+use parking_lot::Mutex;
+
+use crate::{
+    BufferPool, EmConfig, FileId, IoSnapshot, Record, Result, SimDisk, TupleFile, TupleReader,
+    TupleWriter,
+};
+
+/// Owns a simulated disk and the bounded buffer pool through which all block
+/// accesses are routed.
+///
+/// One `EmContext` corresponds to one experimental run: algorithms receive a
+/// `&EmContext`, allocate temporary files on it, and the harness reads the I/O
+/// counters afterwards.  The context is `Send + Sync`, so independent runs can
+/// execute on different threads, each with its own context.
+#[derive(Debug)]
+pub struct EmContext {
+    config: EmConfig,
+    disk: SimDisk,
+    pool: Mutex<BufferPool>,
+}
+
+impl EmContext {
+    /// Creates a context with the given configuration.
+    pub fn new(config: EmConfig) -> Self {
+        let disk = SimDisk::new(config.block_size);
+        let pool = BufferPool::new(config.buffer_blocks().max(2), config.block_size);
+        EmContext {
+            config,
+            disk,
+            pool: Mutex::new(pool),
+        }
+    }
+
+    /// Creates a context with the paper's synthetic-dataset defaults.
+    pub fn with_defaults() -> Self {
+        EmContext::new(EmConfig::default())
+    }
+
+    /// The configuration of this context.
+    pub fn config(&self) -> EmConfig {
+        self.config
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> IoSnapshot {
+        self.disk.stats()
+    }
+
+    /// Resets the I/O counters (typically done after loading a dataset so that
+    /// only the algorithm under test is measured).
+    pub fn reset_stats(&self) {
+        self.disk.reset_stats();
+    }
+
+    /// (cached blocks, pool capacity) — diagnostic information.
+    pub fn pool_usage(&self) -> (usize, usize) {
+        let pool = self.pool.lock();
+        (pool.len(), pool.capacity())
+    }
+
+    /// (pool hits, pool misses) — diagnostic information.
+    pub fn pool_hit_stats(&self) -> (u64, u64) {
+        self.pool.lock().hit_stats()
+    }
+
+    /// Total blocks currently allocated on the simulated disk.
+    pub fn disk_blocks(&self) -> u64 {
+        self.disk.total_blocks()
+    }
+
+    // ----- typed record files ------------------------------------------------
+
+    /// Creates a writer for a new file of `T` records.
+    pub fn create_writer<T: Record>(&self) -> Result<TupleWriter<'_, T>> {
+        TupleWriter::new(self)
+    }
+
+    /// Opens a sequential reader over an existing file.
+    pub fn open_reader<T: Record>(&self, file: &TupleFile<T>) -> TupleReader<'_, T> {
+        TupleReader::new(self, file)
+    }
+
+    /// Writes all records to a fresh file.
+    pub fn write_all<T: Record>(&self, records: &[T]) -> Result<TupleFile<T>> {
+        let mut w = self.create_writer::<T>()?;
+        for r in records {
+            w.push(r)?;
+        }
+        w.finish()
+    }
+
+    /// Reads an entire file into memory.  Counts the I/Os of a sequential
+    /// scan; intended for small files, result inspection and tests.
+    pub fn read_all<T: Record>(&self, file: &TupleFile<T>) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(file.len() as usize);
+        let mut reader = self.open_reader(file);
+        while let Some(rec) = reader.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// Deletes a record file, discarding any of its blocks still in the pool.
+    pub fn delete_file<T: Record>(&self, file: TupleFile<T>) -> Result<()> {
+        self.pool.lock().drop_file(file.id);
+        self.disk.delete_file(file.id)
+    }
+
+    /// Flushes every dirty pool block to disk (counts the corresponding write
+    /// I/Os).  Mostly useful at the end of an experiment when the cost of
+    /// persisting the final result should be included.
+    pub fn flush_all(&self) -> Result<()> {
+        self.pool.lock().flush_all(&self.disk)
+    }
+
+    // ----- raw block files (for index structures) -----------------------------
+
+    /// Allocates a raw block file (no record typing); used by structures such
+    /// as the aSB-tree that lay out their own nodes.
+    pub fn create_raw_file(&self) -> FileId {
+        self.disk.create_file()
+    }
+
+    /// Deletes a raw block file.
+    pub fn delete_raw_file(&self, file: FileId) -> Result<()> {
+        self.pool.lock().drop_file(file);
+        self.disk.delete_file(file)
+    }
+
+    /// Number of blocks of a raw file currently on disk.
+    pub fn raw_file_blocks(&self, file: FileId) -> Result<u64> {
+        self.disk.num_blocks(file)
+    }
+
+    /// Reads block `block` of `file` through the pool.
+    pub fn with_block_read<R>(
+        &self,
+        file: FileId,
+        block: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.pool.lock().with_read(&self.disk, file, block, f)
+    }
+
+    /// Writes block `block` of `file` through the pool.  See
+    /// [`BufferPool::with_write`] for the meaning of `create`.
+    pub fn with_block_write<R>(
+        &self,
+        file: FileId,
+        block: u64,
+        create: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        self.pool
+            .lock()
+            .with_write(&self.disk, file, block, create, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_context() {
+        let ctx = EmContext::new(EmConfig::new(64, 256).unwrap());
+        let data: Vec<u64> = (0..100).collect();
+        let file = ctx.write_all(&data).unwrap();
+        assert_eq!(file.len(), 100);
+        let back = ctx.read_all(&file).unwrap();
+        assert_eq!(back, data);
+        ctx.delete_file(file).unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_block_math() {
+        // 64-byte blocks, 8 records per block, pool of 4 frames.
+        let ctx = EmContext::new(EmConfig::new(64, 256).unwrap());
+        let data: Vec<u64> = (0..64).collect(); // 8 blocks, pool holds 4
+        let file = ctx.write_all(&data).unwrap();
+        // Writing 8 blocks through a 4-frame pool must evict at least 4.
+        assert!(ctx.stats().writes >= 4);
+        ctx.reset_stats();
+        let back = ctx.read_all(&file).unwrap();
+        assert_eq!(back.len(), 64);
+        // Reading must fetch at least the blocks that are no longer cached.
+        assert!(ctx.stats().reads >= 4);
+        assert!(ctx.stats().reads <= 8);
+    }
+
+    #[test]
+    fn small_files_can_stay_entirely_in_the_pool() {
+        let ctx = EmContext::new(EmConfig::new(64, 64 * 16).unwrap());
+        let data: Vec<u64> = (0..32).collect(); // 4 blocks, pool holds 16
+        let file = ctx.write_all(&data).unwrap();
+        let back = ctx.read_all(&file).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(
+            ctx.stats().total(),
+            0,
+            "a file smaller than the buffer never touches the disk"
+        );
+    }
+
+    #[test]
+    fn raw_block_files() {
+        let ctx = EmContext::new(EmConfig::new(64, 256).unwrap());
+        let f = ctx.create_raw_file();
+        ctx.with_block_write(f, 0, true, |b| b[0] = 9).unwrap();
+        let v = ctx.with_block_read(f, 0, |b| b[0]).unwrap();
+        assert_eq!(v, 9);
+        ctx.flush_all().unwrap();
+        assert_eq!(ctx.raw_file_blocks(f).unwrap(), 1);
+        ctx.delete_raw_file(f).unwrap();
+        assert!(ctx.delete_raw_file(f).is_err());
+    }
+
+    #[test]
+    fn pool_diagnostics() {
+        let ctx = EmContext::new(EmConfig::new(64, 256).unwrap());
+        let (len, cap) = ctx.pool_usage();
+        assert_eq!(len, 0);
+        assert_eq!(cap, 4);
+        let _ = ctx.write_all(&(0..8u64).collect::<Vec<_>>()).unwrap();
+        let (len, _) = ctx.pool_usage();
+        assert!(len >= 1);
+        let (_hits, misses) = ctx.pool_hit_stats();
+        assert!(misses >= 1);
+        assert!(ctx.disk_blocks() <= 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the EM layer.
+
+use crate::FileId;
+
+/// Errors raised by the external-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmError {
+    /// The configuration is inconsistent (e.g. buffer smaller than two blocks).
+    InvalidConfig(String),
+    /// A file handle refers to a file that does not exist (already deleted).
+    FileNotFound(FileId),
+    /// A block index is past the end of the file.
+    BlockOutOfRange {
+        /// File being accessed.
+        file: FileId,
+        /// Requested block index.
+        block: u64,
+        /// Number of blocks the file actually has.
+        len: u64,
+    },
+    /// A record type does not fit into a single block.
+    RecordTooLarge {
+        /// Size of the record in bytes.
+        record_size: usize,
+        /// Configured block size in bytes.
+        block_size: usize,
+    },
+    /// The stored data is inconsistent with the file metadata.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::InvalidConfig(msg) => write!(f, "invalid EM configuration: {msg}"),
+            EmError::FileNotFound(id) => write!(f, "file {id:?} not found"),
+            EmError::BlockOutOfRange { file, block, len } => write!(
+                f,
+                "block {block} out of range for file {file:?} with {len} blocks"
+            ),
+            EmError::RecordTooLarge {
+                record_size,
+                block_size,
+            } => write!(
+                f,
+                "record of {record_size} bytes does not fit into a {block_size}-byte block"
+            ),
+            EmError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EmError::InvalidConfig("buffer too small".into());
+        assert!(e.to_string().contains("buffer too small"));
+        let e = EmError::BlockOutOfRange {
+            file: FileId(7),
+            block: 12,
+            len: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("12") && msg.contains('3'));
+        let e = EmError::RecordTooLarge {
+            record_size: 8192,
+            block_size: 4096,
+        };
+        assert!(e.to_string().contains("8192"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Typed handles to record files.
+
+use std::marker::PhantomData;
+
+use crate::{FileId, Record};
+
+/// A handle to a file of `T` records on the simulated disk.
+///
+/// The handle is cheap to clone and carries the record count, which is all a
+/// sequential reader needs (files are densely packed, `records_per_block`
+/// records per block, no per-record framing).
+#[derive(Debug)]
+pub struct TupleFile<T: Record> {
+    pub(crate) id: FileId,
+    pub(crate) num_records: u64,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Record> TupleFile<T> {
+    /// Creates a handle from raw parts (used by writers and by the sort).
+    pub(crate) fn from_parts(id: FileId, num_records: u64) -> Self {
+        TupleFile {
+            id,
+            num_records,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying file id.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// Number of records in the file.
+    pub fn len(&self) -> u64 {
+        self.num_records
+    }
+
+    /// `true` when the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.num_records == 0
+    }
+}
+
+impl<T: Record> Clone for TupleFile<T> {
+    fn clone(&self) -> Self {
+        TupleFile {
+            id: self.id,
+            num_records: self.num_records,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_accessors() {
+        let f: TupleFile<u64> = TupleFile::from_parts(FileId(3), 10);
+        assert_eq!(f.id(), FileId(3));
+        assert_eq!(f.len(), 10);
+        assert!(!f.is_empty());
+        let g = f.clone();
+        assert_eq!(g.id(), f.id());
+        let empty: TupleFile<u64> = TupleFile::from_parts(FileId(4), 0);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe counters of block transfers, shared between the simulated disk
+/// and the context that owns it.
+///
+/// Every block read from the disk into the buffer pool and every block written
+/// back (on dirty eviction or explicit flush) increments the respective
+/// counter.  The paper's performance metric is exactly `reads + writes`
+/// ("the number of transferred blocks during the entire process").
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Records one block read.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one block write.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the I/O counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoSnapshot {
+    /// Number of blocks read from disk.
+    pub reads: u64,
+    /// Number of blocks written to disk.
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total number of transferred blocks — the paper's I/O cost metric.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl std::fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} I/Os ({} reads, {} writes)",
+            self.total(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let stats = IoStats::new();
+        stats.record_read();
+        stats.record_read();
+        stats.record_write();
+        let snap = stats.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.total(), 3);
+        stats.reset();
+        assert_eq!(stats.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn snapshot_arithmetic() {
+        let a = IoSnapshot { reads: 10, writes: 4 };
+        let b = IoSnapshot { reads: 3, writes: 1 };
+        assert_eq!(a.since(&b), IoSnapshot { reads: 7, writes: 3 });
+        assert_eq!(b.since(&a), IoSnapshot { reads: 0, writes: 0 });
+        assert_eq!((a + b).total(), 18);
+        assert!(a.to_string().contains("14 I/Os"));
+    }
+
+    #[test]
+    fn stats_are_shareable_across_threads() {
+        use std::sync::Arc;
+        let stats = Arc::new(IoStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.snapshot().reads, 4000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the external-memory substrate.
+
+use maxrs_em::{external_sort, external_sort_by_key, EmConfig, EmContext, Record};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    key: u32,
+    payload: u64,
+}
+
+impl Record for Row {
+    const SIZE: usize = 12;
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.key.to_le_bytes());
+        buf[4..12].copy_from_slice(&self.payload.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        Row {
+            key: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            payload: u64::from_le_bytes(buf[4..12].try_into().unwrap()),
+        }
+    }
+}
+
+fn tiny_ctx(buffer_blocks: usize) -> EmContext {
+    EmContext::new(EmConfig::new(64, 64 * buffer_blocks.max(2)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn files_roundtrip_exactly(values in prop::collection::vec(any::<u64>(), 0..600), buffer in 2usize..10) {
+        let ctx = tiny_ctx(buffer);
+        let file = ctx.write_all(&values).unwrap();
+        prop_assert_eq!(file.len(), values.len() as u64);
+        let back = ctx.read_all(&file).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn structured_records_roundtrip(rows in prop::collection::vec((any::<u32>(), any::<u64>()), 0..400)) {
+        let ctx = tiny_ctx(4);
+        let rows: Vec<Row> = rows.into_iter().map(|(key, payload)| Row { key, payload }).collect();
+        let file = ctx.write_all(&rows).unwrap();
+        let back = ctx.read_all(&file).unwrap();
+        prop_assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn external_sort_is_a_permutation_sort(
+        rows in prop::collection::vec((any::<u32>(), any::<u64>()), 0..400),
+        buffer in 2usize..8,
+    ) {
+        let ctx = tiny_ctx(buffer);
+        let rows: Vec<Row> = rows.into_iter().map(|(key, payload)| Row { key, payload }).collect();
+        let file = ctx.write_all(&rows).unwrap();
+        let sorted = external_sort_by_key(&ctx, &file, |r| r.key).unwrap();
+        let out = ctx.read_all(&sorted).unwrap();
+        // Keys are non-decreasing.
+        prop_assert!(out.windows(2).all(|w| w[0].key <= w[1].key));
+        // Same multiset of (key, payload) pairs.
+        let mut a: Vec<(u32, u64)> = rows.iter().map(|r| (r.key, r.payload)).collect();
+        let mut b: Vec<(u32, u64)> = out.iter().map(|r| (r.key, r.payload)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_with_custom_comparator_reverses(values in prop::collection::vec(any::<u32>(), 0..300)) {
+        let ctx = tiny_ctx(4);
+        let file = ctx.write_all(&values).unwrap();
+        let sorted = external_sort(&ctx, &file, |a, b| b.cmp(a)).unwrap();
+        let out = ctx.read_all(&sorted).unwrap();
+        prop_assert!(out.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert_eq!(out.len(), values.len());
+    }
+
+    #[test]
+    fn io_accounting_is_monotone_and_bounded(values in prop::collection::vec(any::<u64>(), 1..500), buffer in 2usize..6) {
+        let ctx = tiny_ctx(buffer);
+        let before = ctx.stats().total();
+        let file = ctx.write_all(&values).unwrap();
+        let mid = ctx.stats().total();
+        let _ = ctx.read_all(&file).unwrap();
+        let after = ctx.stats().total();
+        prop_assert!(before <= mid && mid <= after);
+        // A write + scan of n blocks through a bounded pool can never exceed
+        // ~4 block transfers per data block (write-back + re-read + evictions).
+        let blocks = ctx.config().blocks_for::<u64>(values.len() as u64);
+        prop_assert!(after <= 4 * blocks + 4, "after = {after}, blocks = {blocks}");
+    }
+
+    #[test]
+    fn delete_frees_disk_space(values in prop::collection::vec(any::<u64>(), 1..300)) {
+        let ctx = tiny_ctx(3);
+        let file = ctx.write_all(&values).unwrap();
+        ctx.flush_all().unwrap();
+        prop_assert!(ctx.disk_blocks() > 0);
+        ctx.delete_file(file).unwrap();
+        prop_assert_eq!(ctx.disk_blocks(), 0);
+    }
+}

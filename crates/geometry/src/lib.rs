@@ -1,0 +1,77 @@
+//! Geometric primitives shared by every crate of the MaxRS workspace.
+//!
+//! The MaxRS problem (maximizing range sum) and its circular variant MaxCRS
+//! operate on weighted points in the Euclidean plane and on axis-parallel
+//! rectangles / circles of a fixed size.  This crate provides:
+//!
+//! * [`Point`] — a location in the plane,
+//! * [`WeightedPoint`] — a spatial object with a non-negative weight,
+//! * [`Interval`] — a 1-D x-range, possibly unbounded (used by slab files and
+//!   max-intervals),
+//! * [`Rect`] — an axis-parallel rectangle,
+//! * [`Circle`] — a circle given by center and radius,
+//! * [`RectSize`] — the query rectangle extent `d1 × d2` of a MaxRS instance.
+//!
+//! # Boundary semantics
+//!
+//! Following the paper ("objects on the boundary of the rectangle or the
+//! circle are excluded"), all *containment* tests used by the algorithms are
+//! **open**: [`Rect::contains_open`] and [`Circle::contains_open`] return
+//! `false` for points exactly on the boundary.  Closed variants are provided
+//! for index structures and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod interval;
+mod point;
+mod rect;
+mod weighted;
+
+pub use circle::Circle;
+pub use interval::Interval;
+pub use point::Point;
+pub use rect::{Rect, RectSize};
+pub use weighted::{range_sum_circle, range_sum_rect, WeightedPoint};
+
+/// Numeric type used for all coordinates and weights.
+///
+/// The paper's data space is `[0, 10^6]^2` with weights ≥ 0; `f64` has ample
+/// precision for every dataset size used in the evaluation.
+pub type Coord = f64;
+
+/// Total weight type (sums of many `Coord` weights).
+pub type Weight = f64;
+
+/// Compares two floating point values with a relative/absolute tolerance.
+///
+/// Used by tests and by result validation, never inside the sweep algorithms
+/// themselves (those rely on exact comparisons of the input coordinates).
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let diff = (a - b).abs();
+    diff <= eps || diff <= eps * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero_and_sign() {
+        assert!(approx_eq(0.0, 0.0, 0.0));
+        assert!(approx_eq(0.0, 1e-15, 1e-12));
+        assert!(!approx_eq(-1.0, 1.0, 1e-6));
+    }
+}

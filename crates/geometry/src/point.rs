@@ -1,0 +1,115 @@
+//! Points in the Euclidean plane.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Coord;
+
+/// A location in the 2-dimensional data space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// The x-coordinate.
+    pub x: Coord,
+    /// The y-coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a new point.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> Coord {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point (avoids the square root).
+    pub fn distance_sq(&self, other: &Point) -> Coord {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// L1 (Manhattan) distance to another point.
+    pub fn l1_distance(&self, other: &Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to another point.
+    pub fn linf_distance(&self, other: &Point) -> Coord {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Returns this point translated by `(dx, dy)`.
+    pub fn translated(&self, dx: Coord, dy: Coord) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// The midpoint between two points.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// `true` when both coordinates are finite (not NaN / infinite).
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn other_metrics() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -2.0);
+        assert_eq!(a.l1_distance(&b), 7.0);
+        assert_eq!(a.linf_distance(&b), 4.0);
+    }
+
+    #[test]
+    fn translation_and_midpoint() {
+        let a = Point::new(1.0, 1.0);
+        assert_eq!(a.translated(2.0, -1.0), Point::new(3.0, 0.0));
+        assert_eq!(
+            a.midpoint(&Point::new(3.0, 5.0)),
+            Point::new(2.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn conversions_and_finiteness() {
+        let p: Point = (2.0, 3.0).into();
+        assert_eq!(p, Point::new(2.0, 3.0));
+        assert!(p.is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+        assert_eq!(format!("{}", p), "(2, 3)");
+    }
+}

@@ -1,0 +1,130 @@
+//! Weighted spatial objects — the elements of the dataset `O`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Circle, Coord, Point, Rect, RectSize, Weight};
+
+/// A spatial object: a point location with a non-negative weight `w(o)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedPoint {
+    /// Location of the object.
+    pub point: Point,
+    /// Non-negative weight of the object.
+    pub weight: Weight,
+}
+
+impl WeightedPoint {
+    /// Creates a weighted object; the weight must be non-negative and finite.
+    pub fn new(point: Point, weight: Weight) -> Self {
+        debug_assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "object weights must be finite and non-negative, got {weight}"
+        );
+        WeightedPoint { point, weight }
+    }
+
+    /// Convenience constructor from raw coordinates.
+    pub fn at(x: Coord, y: Coord, weight: Weight) -> Self {
+        WeightedPoint::new(Point::new(x, y), weight)
+    }
+
+    /// An object of weight 1 (the unweighted / COUNT setting of the paper's
+    /// introduction example).
+    pub fn unit(x: Coord, y: Coord) -> Self {
+        WeightedPoint::at(x, y, 1.0)
+    }
+
+    /// The x-coordinate of the object.
+    pub fn x(&self) -> Coord {
+        self.point.x
+    }
+
+    /// The y-coordinate of the object.
+    pub fn y(&self) -> Coord {
+        self.point.y
+    }
+
+    /// The transformed rectangle `r_o` of the rectangle-intersection
+    /// reduction: a rectangle of the query size centered at the object.
+    pub fn to_rect(&self, size: RectSize) -> Rect {
+        Rect::centered_at(self.point, size)
+    }
+
+    /// The transformed circle of the MaxCRS reduction: a circle of the query
+    /// diameter centered at the object.
+    pub fn to_circle(&self, diameter: Coord) -> Circle {
+        Circle::from_diameter(self.point, diameter)
+    }
+}
+
+/// Total weight of the objects of `objects` that lie strictly inside the
+/// rectangle of size `size` centered at `center` — the MaxRS objective
+/// evaluated by brute force.  Used by tests and by result validation.
+pub fn range_sum_rect(objects: &[WeightedPoint], center: Point, size: RectSize) -> Weight {
+    let r = Rect::centered_at(center, size);
+    objects
+        .iter()
+        .filter(|o| r.contains_open(&o.point))
+        .map(|o| o.weight)
+        .sum()
+}
+
+/// Total weight of the objects strictly inside the circle of diameter
+/// `diameter` centered at `center` — the MaxCRS objective evaluated by brute
+/// force.
+pub fn range_sum_circle(objects: &[WeightedPoint], center: Point, diameter: Coord) -> Weight {
+    let c = Circle::from_diameter(center, diameter);
+    objects
+        .iter()
+        .filter(|o| c.contains_open(&o.point))
+        .map(|o| o.weight)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let o = WeightedPoint::at(1.0, 2.0, 3.0);
+        assert_eq!(o.x(), 1.0);
+        assert_eq!(o.y(), 2.0);
+        assert_eq!(o.weight, 3.0);
+        assert_eq!(WeightedPoint::unit(1.0, 2.0).weight, 1.0);
+    }
+
+    #[test]
+    fn transformation_to_rect_and_circle() {
+        let o = WeightedPoint::at(10.0, 10.0, 2.0);
+        let r = o.to_rect(RectSize::new(4.0, 2.0));
+        assert_eq!(r, Rect::new(8.0, 12.0, 9.0, 11.0));
+        let c = o.to_circle(6.0);
+        assert_eq!(c.radius, 3.0);
+        assert_eq!(c.center, o.point);
+    }
+
+    #[test]
+    fn brute_force_range_sums() {
+        let objects = vec![
+            WeightedPoint::at(0.0, 0.0, 1.0),
+            WeightedPoint::at(1.0, 1.0, 2.0),
+            WeightedPoint::at(5.0, 5.0, 4.0),
+            WeightedPoint::at(2.0, 0.0, 8.0), // exactly on the rect boundary below
+        ];
+        let size = RectSize::new(4.0, 4.0);
+        // Rect centered at (0,0): covers (0,0) and (1,1); (2,0) is on the boundary.
+        assert_eq!(range_sum_rect(&objects, Point::new(0.0, 0.0), size), 3.0);
+        // Circle of diameter 4 centered at (0,0): covers (0,0) and (1,1),
+        // excludes (2,0) which is exactly on the boundary.
+        assert_eq!(
+            range_sum_circle(&objects, Point::new(0.0, 0.0), 4.0),
+            3.0
+        );
+        // Large circle covers everything.
+        assert_eq!(
+            range_sum_circle(&objects, Point::new(2.0, 2.0), 20.0),
+            15.0
+        );
+    }
+}

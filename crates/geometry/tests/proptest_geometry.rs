@@ -1,0 +1,120 @@
+//! Property-based tests of the geometric primitives.
+
+use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    (-1.0e6..1.0e6f64).prop_map(|v| (v * 16.0).round() / 16.0)
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (finite_coord(), finite_coord()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (finite_coord(), finite_coord(), finite_coord(), finite_coord()).prop_map(|(a, b, c, d)| {
+        Rect::new(a.min(b), a.max(b), c.min(d), c.max(d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distances_form_a_metric(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(&b) >= 0.0);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        prop_assert_eq!(a.distance(&a), 0.0);
+        // Triangle inequality with a numerical slack.
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
+        // Norm orderings: L-inf <= L2 <= L1.
+        prop_assert!(a.linf_distance(&b) <= a.distance(&b) + 1e-9);
+        prop_assert!(a.distance(&b) <= a.l1_distance(&b) + 1e-9);
+    }
+
+    #[test]
+    fn interval_intersection_is_commutative_and_contained(a in interval(), b in interval()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_interval(&i));
+            prop_assert!(b.contains_interval(&i));
+            prop_assert!(i.length() <= a.length() + 1e-9);
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+        // Hull always contains both inputs.
+        let hull = a.hull(&b);
+        prop_assert!(hull.contains_interval(&a) && hull.contains_interval(&b));
+    }
+
+    #[test]
+    fn rect_intersection_properties(a in rect(), b in rect()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+                prop_assert!(i.area() <= a.area().min(b.area()) + 1e-6);
+                prop_assert!(a.intersects(&b));
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+        let hull = a.hull(&b);
+        prop_assert!(hull.contains_rect(&a) && hull.contains_rect(&b));
+        prop_assert!(hull.area() + 1e-6 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn centered_rect_contains_its_center_and_nothing_far(c in point(), w in 0.1..1000.0f64, h in 0.1..1000.0f64) {
+        let r = Rect::centered_at(c, RectSize::new(w, h));
+        prop_assert!(r.contains_open(&c));
+        prop_assert_eq!(r.center(), c);
+        prop_assert!((r.width() - w).abs() < 1e-9);
+        let far = c.translated(w, h);
+        prop_assert!(!r.contains_open(&far));
+        // Open containment implies closed containment.
+        prop_assert!(r.contains_closed(&c));
+    }
+
+    #[test]
+    fn circle_mbr_contains_the_circle(c in point(), d in 0.1..1000.0f64, q in point()) {
+        let circle = Circle::from_diameter(c, d);
+        let mbr = circle.mbr();
+        if circle.contains_closed(&q) {
+            prop_assert!(mbr.contains_closed(&q));
+        }
+        // The MBR is a d x d square.
+        prop_assert!((mbr.width() - d).abs() < 1e-9);
+        prop_assert!((mbr.height() - d).abs() < 1e-9);
+        prop_assert_eq!(mbr.center(), c);
+    }
+
+    #[test]
+    fn boundary_intersections_lie_on_both_circles(a in point(), b in point(), d in 0.5..500.0f64) {
+        let ca = Circle::from_diameter(a, d);
+        let cb = Circle::from_diameter(b, d);
+        if let Some(points) = ca.boundary_intersections(&cb) {
+            for p in points {
+                prop_assert!((ca.center.distance(&p) - ca.radius).abs() < 1e-6 * (1.0 + ca.radius));
+                prop_assert!((cb.center.distance(&p) - cb.radius).abs() < 1e-6 * (1.0 + cb.radius));
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_duality(o in point(), q in point(), w in 0.5..100.0f64, h in 0.5..100.0f64) {
+        // q is covered by the rectangle centered at the object iff the object is
+        // covered by the rectangle centered at q — the symmetry behind the
+        // rectangle-intersection reduction of Section 4.
+        let size = RectSize::new(w, h);
+        let obj = WeightedPoint::new(o, 1.0);
+        let rect_at_object = obj.to_rect(size);
+        let rect_at_query = Rect::centered_at(q, size);
+        prop_assert_eq!(rect_at_object.contains_open(&q), rect_at_query.contains_open(&o));
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: solve a MaxRS query in memory and through the external-memory
+//! pipeline, and a MaxCRS query with the approximation algorithm.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use maxrs::core::ApproxMaxCrsOptions;
+use maxrs::{
+    approx_max_crs_from_objects, exact_max_rs_from_objects, max_rs_in_memory, EmConfig, EmContext,
+    ExactMaxRsOptions, RectSize, WeightedPoint,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A handful of points of interest with weights (e.g. expected customers).
+    let objects = vec![
+        WeightedPoint::at(12.0, 14.0, 3.0),
+        WeightedPoint::at(13.5, 15.0, 2.0),
+        WeightedPoint::at(14.0, 13.0, 4.0),
+        WeightedPoint::at(30.0, 30.0, 5.0),
+        WeightedPoint::at(31.0, 31.5, 1.0),
+        WeightedPoint::at(70.0, 10.0, 2.0),
+    ];
+
+    // --- MaxRS, in memory -----------------------------------------------------
+    // Where should we center a 6 x 6 service area to cover the most weight?
+    let size = RectSize::square(6.0);
+    let in_memory = max_rs_in_memory(&objects, size);
+    println!(
+        "[in-memory ] best 6x6 rectangle center: {} covering weight {}",
+        in_memory.center, in_memory.total_weight
+    );
+
+    // --- MaxRS, external memory -------------------------------------------------
+    // The same query through ExactMaxRS against a simulated disk: identical
+    // answer, and we can inspect how many blocks it transferred.
+    let ctx = EmContext::new(EmConfig::paper_synthetic());
+    let external = exact_max_rs_from_objects(&ctx, &objects, size, &ExactMaxRsOptions::default())?;
+    println!(
+        "[ExactMaxRS] best 6x6 rectangle center: {} covering weight {} ({} block I/Os)",
+        external.center,
+        external.total_weight,
+        ctx.stats().total()
+    );
+    assert_eq!(in_memory.total_weight, external.total_weight);
+
+    // --- MaxCRS (circular range), approximate ---------------------------------
+    let diameter = 6.0;
+    let circle = approx_max_crs_from_objects(
+        &ctx,
+        &objects,
+        diameter,
+        &ApproxMaxCrsOptions::default(),
+    )?;
+    println!(
+        "[ApproxMaxCRS] best circle (d={diameter}) center: {} covering weight {}",
+        circle.center, circle.total_weight
+    );
+
+    Ok(())
+}

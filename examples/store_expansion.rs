@@ -1,0 +1,56 @@
+//! Store expansion planning with the future-work extensions of the paper:
+//! MaxkRS (open several stores at once) and MinRS (find the least-served spot
+//! inside a district).
+//!
+//! ```text
+//! cargo run --release --example store_expansion
+//! ```
+
+use maxrs::core::{max_k_rs_in_memory, min_rs_in_memory};
+use maxrs::datagen::{Dataset, DatasetKind};
+use maxrs::geometry::Rect;
+use maxrs::{max_rs_in_memory, RectSize};
+
+fn main() {
+    // Customer locations in a metropolitan area.
+    let customers = Dataset::generate(DatasetKind::Ne, 15_000, 31);
+    let delivery = RectSize::new(25_000.0, 25_000.0); // 25 km x 25 km service area
+    println!("{} customers, service area {} x {} m", customers.len(), delivery.width, delivery.height);
+
+    // --- One store: plain MaxRS ------------------------------------------------
+    let single = max_rs_in_memory(&customers.objects, delivery);
+    println!(
+        "\n1 store : place at ({:.0}, {:.0}) -> {} customers served",
+        single.center.x, single.center.y, single.total_weight
+    );
+
+    // --- A chain of four stores: greedy MaxkRS ---------------------------------
+    let chain = max_k_rs_in_memory(&customers.objects, delivery, 4);
+    println!("\n4 stores (greedy MaxkRS, non-overlapping service areas):");
+    let mut covered = 0.0;
+    for (i, store) in chain.iter().enumerate() {
+        covered += store.total_weight;
+        println!(
+            "  #{}: ({:>9.0}, {:>9.0}) -> {:>6} customers",
+            i + 1,
+            store.center.x,
+            store.center.y,
+            store.total_weight
+        );
+    }
+    println!(
+        "  total {:.0} customers ({:.1}% of the city)",
+        covered,
+        100.0 * covered / customers.total_weight()
+    );
+    assert!(covered >= single.total_weight);
+
+    // --- Where is the most under-served spot downtown? MinRS -------------------
+    let downtown = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
+    let quietest = min_rs_in_memory(&customers.objects, delivery, downtown);
+    println!(
+        "\nLeast-served location inside downtown: ({:.0}, {:.0}) with only {} customers in range",
+        quietest.center.x, quietest.center.y, quietest.total_weight
+    );
+    assert!(quietest.total_weight <= single.total_weight);
+}

@@ -1,0 +1,46 @@
+//! # maxrs — maximizing range sum in spatial databases
+//!
+//! Facade crate re-exporting the MaxRS workspace: a Rust reproduction of
+//! *"A Scalable Algorithm for Maximizing Range Sum in Spatial Databases"*
+//! (Choi, Chung, Tao; PVLDB 5(11), 2012).
+//!
+//! * [`geometry`] — points, rectangles, circles, weighted objects.
+//! * [`em`] — the external-memory substrate (simulated disk, buffer pool, I/O
+//!   accounting, external sort).
+//! * [`core`] — the algorithms: ExactMaxRS, ApproxMaxCRS, the in-memory plane
+//!   sweep and the exact MaxCRS reference.
+//! * [`datagen`] — the synthetic and real-surrogate dataset generators used by
+//!   the experiments.
+//! * [`baselines`] — the externalized plane-sweep baselines (Naïve and
+//!   aSB-tree) the paper compares against.
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use maxrs::{max_rs_in_memory, RectSize, WeightedPoint};
+//!
+//! let stores = vec![
+//!     WeightedPoint::unit(2.0, 3.0),
+//!     WeightedPoint::unit(2.5, 3.5),
+//!     WeightedPoint::unit(9.0, 9.0),
+//! ];
+//! let best = max_rs_in_memory(&stores, RectSize::square(2.0));
+//! assert_eq!(best.total_weight, 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use maxrs_baselines as baselines;
+pub use maxrs_core as core;
+pub use maxrs_datagen as datagen;
+pub use maxrs_em as em;
+pub use maxrs_geometry as geometry;
+
+pub use maxrs_core::{
+    approx_max_crs, approx_max_crs_from_objects, exact_max_crs_in_memory, exact_max_rs,
+    exact_max_rs_from_objects, load_objects, max_rs_in_memory, ApproxMaxCrsOptions,
+    ExactMaxRsOptions, MaxCrsResult, MaxRsResult,
+};
+pub use maxrs_em::{EmConfig, EmContext, IoSnapshot};
+pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};

@@ -1,0 +1,181 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! datasets are generated with `maxrs-datagen`, stored through `maxrs-em`, and
+//! solved with the algorithms of `maxrs-core` and `maxrs-baselines`, checking
+//! that all of them agree with each other and with brute force.
+
+use maxrs::baselines::{asb_tree_sweep, naive_sweep, Algorithm};
+use maxrs::core::{brute_force_max_rs, rect_objective};
+use maxrs::datagen::{Dataset, DatasetKind, WeightMode};
+use maxrs::{
+    exact_max_rs, load_objects, max_rs_in_memory, EmConfig, EmContext, ExactMaxRsOptions,
+    RectSize,
+};
+
+/// The four algorithm implementations (three external, one in-memory) must
+/// return the same maximum weight on every dataset family.
+#[test]
+fn all_algorithms_agree_on_every_dataset_family() {
+    for kind in DatasetKind::ALL {
+        let dataset = Dataset::generate(kind, 400, 123);
+        let size = RectSize::square(40_000.0);
+        let reference = max_rs_in_memory(&dataset.objects, size);
+
+        let config = EmConfig::new(4096, 8 * 4096).unwrap();
+        let ctx = EmContext::new(config);
+        let file = load_objects(&ctx, &dataset.objects).unwrap();
+
+        let exact = exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::default()).unwrap();
+        let asb = asb_tree_sweep(&ctx, &file, size).unwrap();
+        let naive = naive_sweep(&ctx, &file, size).unwrap();
+
+        assert_eq!(exact.total_weight, reference.total_weight, "{kind:?}");
+        assert_eq!(asb.total_weight, reference.total_weight, "{kind:?}");
+        assert_eq!(naive.total_weight, reference.total_weight, "{kind:?}");
+        assert!(reference.total_weight >= 1.0, "{kind:?}");
+
+        // Every returned center must actually achieve the reported weight.
+        for r in [&exact, &asb, &naive] {
+            assert_eq!(
+                rect_objective(&dataset.objects, r.center, size),
+                r.total_weight,
+                "{kind:?}"
+            );
+        }
+    }
+}
+
+/// Weighted objects: the optimum maximizes total weight, not the object count.
+#[test]
+fn weighted_objects_are_respected_end_to_end() {
+    let dataset =
+        Dataset::generate_weighted(DatasetKind::Uniform, 300, 5, WeightMode::UniformRandom { max: 9.0 });
+    let size = RectSize::square(100_000.0);
+    let reference = max_rs_in_memory(&dataset.objects, size);
+    let brute = brute_force_max_rs(&dataset.objects, size);
+    // Weights are arbitrary floats here, so sums computed in different orders
+    // may differ in the last bits; compare with a relative tolerance.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert!(
+        close(reference.total_weight, brute.total_weight),
+        "{} vs {}",
+        reference.total_weight,
+        brute.total_weight
+    );
+
+    let ctx = EmContext::new(EmConfig::new(4096, 8 * 4096).unwrap());
+    let exact =
+        maxrs::exact_max_rs_from_objects(&ctx, &dataset.objects, size, &ExactMaxRsOptions::default())
+            .unwrap();
+    assert!(
+        close(exact.total_weight, brute.total_weight),
+        "{} vs {}",
+        exact.total_weight,
+        brute.total_weight
+    );
+}
+
+/// The answer must be invariant to the EM configuration (buffer and block
+/// sizes only change the I/O cost, never the result).
+#[test]
+fn answers_are_invariant_to_memory_configuration() {
+    let dataset = Dataset::generate(DatasetKind::Gaussian, 1500, 9);
+    let size = RectSize::square(20_000.0);
+    let mut weights = Vec::new();
+    for (block, buffer_blocks) in [(1024usize, 4usize), (4096, 8), (4096, 64), (512, 16)] {
+        let ctx = EmContext::new(EmConfig::new(block, block * buffer_blocks).unwrap());
+        let r = maxrs::exact_max_rs_from_objects(
+            &ctx,
+            &dataset.objects,
+            size,
+            &ExactMaxRsOptions::default(),
+        )
+        .unwrap();
+        weights.push(r.total_weight);
+    }
+    assert!(weights.windows(2).all(|w| w[0] == w[1]), "weights = {weights:?}");
+}
+
+/// I/O ordering across a cardinality sweep: ExactMaxRS scales near-linearly
+/// while the baselines blow up, reproducing the qualitative shape of Fig. 12.
+#[test]
+fn io_scaling_reproduces_figure12_shape() {
+    let config = EmConfig::new(4096, 8 * 4096).unwrap();
+    let size = RectSize::square(1000.0);
+    let mut exact_ios = Vec::new();
+    let mut naive_ios = Vec::new();
+    for n in [400usize, 800] {
+        let dataset = Dataset::generate(DatasetKind::Uniform, n, 77);
+        let exact = maxrs_bench_run(Algorithm::ExactMaxRs, config, &dataset, size);
+        let asb = maxrs_bench_run(Algorithm::AsbTree, config, &dataset, size);
+        let naive = maxrs_bench_run(Algorithm::NaiveSweep, config, &dataset, size);
+        assert!(exact < asb, "n={n}: exact {exact} < asb {asb}");
+        assert!(asb < naive, "n={n}: asb {asb} < naive {naive}");
+        exact_ios.push(exact);
+        naive_ios.push(naive);
+    }
+    // Doubling N roughly quadruples the naive cost but far less than doubles
+    // the advantage ... verify growth factors.
+    let exact_growth = exact_ios[1] as f64 / exact_ios[0] as f64;
+    let naive_growth = naive_ios[1] as f64 / naive_ios[0] as f64;
+    assert!(
+        naive_growth > exact_growth,
+        "naive must grow faster (naive {naive_growth:.2}x vs exact {exact_growth:.2}x)"
+    );
+}
+
+fn maxrs_bench_run(
+    algorithm: Algorithm,
+    config: EmConfig,
+    dataset: &Dataset,
+    size: RectSize,
+) -> u64 {
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, &dataset.objects).unwrap();
+    ctx.reset_stats();
+    match algorithm {
+        Algorithm::ExactMaxRs => {
+            exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::default()).unwrap();
+        }
+        Algorithm::AsbTree => {
+            asb_tree_sweep(&ctx, &file, size).unwrap();
+        }
+        Algorithm::NaiveSweep => {
+            naive_sweep(&ctx, &file, size).unwrap();
+        }
+    }
+    ctx.stats().total()
+}
+
+/// Degenerate inputs must not panic anywhere in the pipeline.
+#[test]
+fn degenerate_inputs_are_handled_gracefully() {
+    let ctx = EmContext::new(EmConfig::new(4096, 8 * 4096).unwrap());
+    let size = RectSize::square(10.0);
+
+    // Empty dataset.
+    let r = maxrs::exact_max_rs_from_objects(&ctx, &[], size, &ExactMaxRsOptions::default()).unwrap();
+    assert_eq!(r.total_weight, 0.0);
+
+    // All objects at the same location.
+    let same: Vec<_> = (0..500).map(|_| maxrs::WeightedPoint::unit(5.0, 5.0)).collect();
+    let r = maxrs::exact_max_rs_from_objects(&ctx, &same, size, &ExactMaxRsOptions::default()).unwrap();
+    assert_eq!(r.total_weight, 500.0);
+
+    // All objects on one vertical line (every slab boundary collapses).
+    let line: Vec<_> = (0..500)
+        .map(|i| maxrs::WeightedPoint::unit(100.0, i as f64))
+        .collect();
+    let opts = ExactMaxRsOptions {
+        memory_rects: Some(50),
+        fanout: Some(4),
+        ..Default::default()
+    };
+    let r = maxrs::exact_max_rs_from_objects(&ctx, &line, RectSize::new(10.0, 50.0), &opts).unwrap();
+    let reference = max_rs_in_memory(&line, RectSize::new(10.0, 50.0));
+    assert_eq!(r.total_weight, reference.total_weight);
+
+    // Zero-weight objects.
+    let zeros: Vec<_> = (0..100).map(|i| maxrs::WeightedPoint::at(i as f64, 0.0, 0.0)).collect();
+    let r = maxrs::exact_max_rs_from_objects(&ctx, &zeros, size, &ExactMaxRsOptions::default()).unwrap();
+    assert_eq!(r.total_weight, 0.0);
+}
