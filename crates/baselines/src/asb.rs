@@ -95,11 +95,7 @@ pub fn asb_tree_sweep_with_stats(
     let mut best_next_y: Option<f64> = None;
     let mut awaiting_next = false;
 
-    loop {
-        let y = match events.peek()? {
-            Some(e) => e.y,
-            None => break,
-        };
+    while let Some(y) = events.peek()?.map(|e| e.y) {
         if awaiting_next {
             best_next_y = Some(y);
             awaiting_next = false;

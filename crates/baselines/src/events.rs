@@ -214,7 +214,7 @@ mod tests {
         // At most 2N-1 elementary intervals, contiguous and sorted.
         let status = ctx.read_all(&inputs.status).unwrap();
         assert_eq!(status.len() as u64, inputs.num_intervals);
-        assert!(status.len() <= 2 * objects.len() - 1);
+        assert!(status.len() < 2 * objects.len());
         assert!(status.windows(2).all(|w| w[0].x_hi == w[1].x_lo));
         assert!(status.iter().all(|s| s.sum == 0.0 && s.x_lo < s.x_hi));
     }

@@ -4,7 +4,10 @@
 //! the paper.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use maxrs_core::{max_rs_in_memory, SegmentTree};
+use maxrs_bench::runner::run_engine;
+use maxrs_core::{
+    load_objects, max_rs_in_memory, EngineOptions, ExactMaxRsOptions, MaxRsEngine, SegmentTree,
+};
 use maxrs_datagen::{Dataset, DatasetKind};
 use maxrs_em::{external_sort_by_key, EmConfig, EmContext};
 use maxrs_geometry::RectSize;
@@ -57,5 +60,57 @@ fn bench_external_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_segment_tree, bench_plane_sweep, bench_external_sort);
+/// Sequential vs. parallel ExactMaxRS through the [`MaxRsEngine`] facade: the
+/// same dataset, EM configuration and query, varying only the worker cap of
+/// the parallel slab stage.  `workers = 1` is the paper's sequential sweep;
+/// larger caps exercise the parallel children + tree-reduction path.
+///
+/// The dataset is loaded into the context once per variant, outside the timed
+/// loop, so the measured wall-clock covers the solve only — the same phase
+/// whose I/O the harness reports.
+fn bench_engine_parallelism(c: &mut Criterion) {
+    // 64 pool blocks -> up to 8 effective workers; 30k objects >> M.
+    let config = EmConfig::new(4096, 64 * 4096).unwrap();
+    let ds = Dataset::generate(DatasetKind::Uniform, 30_000, 17);
+    let size = RectSize::square(20_000.0);
+
+    let mut group = c.benchmark_group("engine_exact_maxrs");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        let engine = MaxRsEngine::with_options(EngineOptions {
+            em_config: config,
+            exact: ExactMaxRsOptions {
+                parallelism: workers,
+                ..Default::default()
+            },
+            force_strategy: None,
+        });
+        let ctx = EmContext::new(config);
+        let file = load_objects(&ctx, &ds.objects).unwrap();
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| engine.solve_file(&ctx, &file, size).unwrap());
+        });
+    }
+    group.finish();
+
+    // Print what each variant actually did (strategy, workers, I/O) so the
+    // bench output documents the comparison, not just the wall-clock.
+    for workers in [1usize, 8] {
+        let run = run_engine(config, &ds.objects, size, workers).unwrap();
+        println!(
+            "engine_exact_maxrs workers={workers}: strategy={} effective_workers={} io={}",
+            run.strategy.name(),
+            run.workers,
+            run.io
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_segment_tree,
+    bench_plane_sweep,
+    bench_external_sort,
+    bench_engine_parallelism
+);
 criterion_main!(benches);

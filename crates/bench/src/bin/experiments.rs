@@ -142,7 +142,10 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = args.json_path {
-        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let json = maxrs_bench::json::Value::Array(
+            reports.iter().map(FigureReport::to_value).collect(),
+        )
+        .to_pretty_string();
         if let Err(e) = fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

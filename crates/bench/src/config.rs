@@ -1,7 +1,6 @@
 //! Experiment configuration: the paper's parameters and the scaling knob.
 
 use maxrs_em::EmConfig;
-use serde::{Deserialize, Serialize};
 
 /// Block size used throughout the paper (Table 3).
 pub const PAPER_BLOCK_SIZE: usize = 4096;
@@ -44,7 +43,7 @@ pub const PAPER_DIAMETERS: [f64; 5] = [1000.0, 2500.0, 5000.0, 7500.0, 10000.0];
 /// ratio `N/M` — the quantity that actually drives all three algorithms'
 /// behaviour — at its paper value.  Block size, the data-space extent and the
 /// query range are not scaled.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentScale {
     /// Multiplier applied to cardinalities and buffer sizes.
     pub factor: f64,

@@ -1,0 +1,444 @@
+//! A minimal JSON document model with a pretty printer and parser.
+//!
+//! The build environment has no crates.io access, so report serialization
+//! cannot use `serde_json`.  This module implements the small subset the
+//! harness needs: numbers, strings, booleans, null, arrays and objects, with
+//! insertion-ordered object keys so emitted reports are stable and diffable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.  JSON has no NaN/Infinity, so non-finite values are emitted
+    /// as `null` by the printer.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for object members.
+    pub fn object(members: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as indented, human-readable JSON.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner_pad = "  ".repeat(indent + 1);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&inner_pad);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&inner_pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.at));
+        }
+        Ok(v)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON cannot represent NaN/Infinity; degrade to null so the
+        // document stays parseable (mirrors lenient serializers).
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.at,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.at..].starts_with(kw.as_bytes()) {
+            self.at += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.at)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Object(members));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.hex4(self.at + 1)?;
+                            self.at += 4;
+                            let scalar = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a low surrogate escape must
+                                // follow (how serializers encode non-BMP
+                                // characters such as emoji).
+                                if self.bytes.get(self.at + 1..self.at + 3) != Some(b"\\u") {
+                                    return Err("lone high surrogate in \\u escape".into());
+                                }
+                                let low = self.hex4(self.at + 3)?;
+                                self.at += 6;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("invalid low surrogate in \\u escape".into());
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(scalar).ok_or("invalid \\u escape")?);
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences are copied
+                    // byte-for-byte; the input is a valid &str).
+                    let start = self.at;
+                    self.at += 1;
+                    while self
+                        .bytes
+                        .get(self.at)
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.at += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.at]).unwrap());
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits starting at byte offset `from`.
+    fn hex4(&self, from: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(from..from + 4).ok_or("truncated \\u escape")?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+            16,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+        }) {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let doc = Value::object(vec![
+            ("id", Value::String("fig12a".into())),
+            ("n", Value::Number(250000.0)),
+            ("ratio", Value::Number(0.9125)),
+            ("ok", Value::Bool(true)),
+            ("missing", Value::Null),
+            (
+                "series",
+                Value::Array(vec![Value::object(vec![
+                    ("name", Value::String("Exact\"MaxRS\"\n".into())),
+                    ("points", Value::Array(vec![])),
+                ])]),
+            ),
+        ]);
+        let text = doc.to_pretty_string();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::parse(r#"{"a": [1, 2.5], "b": "x"}"#).unwrap();
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1, ]").is_err());
+        assert!(Value::parse("[1] trailing").is_err());
+        assert!(Value::parse("nope").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        let doc = Value::Array(vec![
+            Value::Number(f64::NAN),
+            Value::Number(f64::INFINITY),
+            Value::Number(1.5),
+        ]);
+        let text = doc.to_pretty_string();
+        let back = Value::parse(&text).expect("output must stay valid JSON");
+        assert_eq!(
+            back,
+            Value::Array(vec![Value::Null, Value::Null, Value::Number(1.5)])
+        );
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = Value::parse(r#""café → ok""#).unwrap();
+        assert_eq!(v.as_str(), Some("café → ok"));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // How ensure-ascii serializers encode non-BMP characters (U+1F600 as
+        // a \\u surrogate pair) and BMP ones (U+00E9 as a single escape).
+        let v = Value::parse(r#""\ud83d\ude00 ok \u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600} ok \u{00e9}"));
+        // Lone or malformed surrogates are rejected, not silently mangled.
+        assert!(Value::parse(r#""\ud83d""#).is_err());
+        assert!(Value::parse(r#""\ud83dA""#).is_err());
+        assert!(Value::parse(r#""\ud83d\u0041""#).is_err());
+    }
+}

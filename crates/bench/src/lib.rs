@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod tables;

@@ -1,9 +1,9 @@
 //! Report structures: the series and tables the experiment runners produce.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Value;
 
 /// One measured point of a series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
     /// The swept parameter (cardinality, buffer size, range size, diameter …).
     pub x: f64,
@@ -12,7 +12,7 @@ pub struct SeriesPoint {
 }
 
 /// A named series (one curve of a figure).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend name (e.g. "ExactMaxRS").
     pub name: String,
@@ -41,7 +41,7 @@ impl Series {
 }
 
 /// A reproduced figure or table: several series over a common x axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureReport {
     /// Identifier matching the paper ("fig12a", "fig17", "table2" …).
     pub id: String,
@@ -154,7 +154,93 @@ impl FigureReport {
 
     /// Renders the report as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("reports always serialize")
+        self.to_value().to_pretty_string()
+    }
+
+    /// Converts the report into a JSON document.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("id", Value::String(self.id.clone())),
+            ("title", Value::String(self.title.clone())),
+            ("x_label", Value::String(self.x_label.clone())),
+            ("y_label", Value::String(self.y_label.clone())),
+            (
+                "series",
+                Value::Array(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("name", Value::String(s.name.clone())),
+                                (
+                                    "points",
+                                    Value::Array(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Value::object(vec![
+                                                    ("x", Value::Number(p.x)),
+                                                    ("y", Value::Number(p.y)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report from the JSON produced by [`FigureReport::to_json`].
+    pub fn from_json(text: &str) -> Result<FigureReport, String> {
+        let value = Value::parse(text)?;
+        FigureReport::from_value(&value)
+    }
+
+    /// Converts a JSON document back into a report.
+    pub fn from_value(value: &Value) -> Result<FigureReport, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let mut report = FigureReport {
+            id: field("id")?,
+            title: field("title")?,
+            x_label: field("x_label")?,
+            y_label: field("y_label")?,
+            series: Vec::new(),
+        };
+        for s in value
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or("missing 'series' array")?
+        {
+            let mut series = Series::new(
+                s.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("series without 'name'")?,
+            );
+            for p in s
+                .get("points")
+                .and_then(Value::as_array)
+                .ok_or("series without 'points'")?
+            {
+                let coord = |key: &str| {
+                    p.get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("point without '{key}'"))
+                };
+                series.push(coord("x")?, coord("y")?);
+            }
+            report.add_series(series);
+        }
+        Ok(report)
     }
 }
 
@@ -201,7 +287,7 @@ mod tests {
         assert!(csv.starts_with("N,Naive,ExactMaxRS"));
         assert_eq!(csv.lines().count(), 3);
         let json = r.to_json();
-        let back: FigureReport = serde_json::from_str(&json).unwrap();
+        let back = FigureReport::from_json(&json).unwrap();
         assert_eq!(back, r);
     }
 

@@ -1,7 +1,10 @@
 //! Running one algorithm on one dataset under one EM configuration.
 
 use maxrs_baselines::{asb_tree_sweep, naive_sweep, Algorithm};
-use maxrs_core::{exact_max_rs, load_objects, ExactMaxRsOptions, MaxRsResult};
+use maxrs_core::{
+    exact_max_rs, load_objects, EngineOptions, EngineRun, ExactMaxRsOptions, MaxRsEngine,
+    MaxRsResult,
+};
 use maxrs_em::{EmConfig, EmContext, IoSnapshot};
 use maxrs_geometry::{RectSize, WeightedPoint};
 
@@ -32,7 +35,10 @@ pub fn run_algorithm(
     let result = match algorithm {
         Algorithm::NaiveSweep => naive_sweep(&ctx, &file, size)?,
         Algorithm::AsbTree => asb_tree_sweep(&ctx, &file, size)?,
-        Algorithm::ExactMaxRs => exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::default())?,
+        // The figures reproduce the *paper's* sequential sweep, so the
+        // parallel slab stage is pinned off here regardless of the host's
+        // core count; `run_engine` below measures the parallel variant.
+        Algorithm::ExactMaxRs => exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::sequential())?,
     };
     let io = ctx.stats();
     Ok(AlgorithmRun {
@@ -40,6 +46,35 @@ pub fn run_algorithm(
         result,
         io,
     })
+}
+
+/// Runs a MaxRS query through the [`MaxRsEngine`] facade under a fresh EM
+/// context, measuring only the solving phase (dataset loading excluded).
+///
+/// `parallelism` caps the worker threads of the parallel slab stage; `1`
+/// forces the engine's external-sequential path for datasets that exceed the
+/// memory budget, making `run_engine(cfg, objs, size, 1)` vs.
+/// `run_engine(cfg, objs, size, n)` a direct sequential-vs-parallel
+/// comparison.
+pub fn run_engine(
+    config: EmConfig,
+    objects: &[WeightedPoint],
+    size: RectSize,
+    parallelism: usize,
+) -> maxrs_core::Result<EngineRun> {
+    let engine = MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions {
+            parallelism,
+            ..Default::default()
+        },
+        force_strategy: None,
+    });
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, objects)?;
+    // The engine reports I/O as a delta across the solve, so the load above
+    // is already excluded from the returned EngineRun.
+    engine.solve_file(&ctx, &file, size)
 }
 
 #[cfg(test)]

@@ -113,7 +113,8 @@ mod tests {
         assert!(t.contains("1024 KB"));
         assert!(t.contains("4096 B"));
         assert!(t.contains("1M x 1M"));
+        // `reduced()` is 4% of the paper's sizes: 0.04 * 250_000 = 10_000.
         let reduced = table3(ExperimentScale::reduced());
-        assert!(reduced.contains("20000"), "reduced cardinality column missing:\n{reduced}");
+        assert!(reduced.contains("10000"), "reduced cardinality column missing:\n{reduced}");
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! 1. Replace every circle by its minimum bounding rectangle (a `d × d`
 //!    square) and solve the resulting MaxRS instance exactly with
-//!    [`exact_max_rs`](crate::exact::exact_max_rs).
+//!    [`exact_max_rs`](crate::exact::exact_max_rs()).
 //! 2. Take the centroid `p0` of the returned max-region and generate four
 //!    *shifted points* `p1..p4` at distance `σ` from `p0` along the four
 //!    diagonal directions, with `(√2 − 1)·d/2 < σ < d/2` so that the four

@@ -1,0 +1,425 @@
+//! [`MaxRsEngine`]: one entry point that picks the right MaxRS execution
+//! strategy for the workload.
+//!
+//! The paper's algorithms form a natural ladder:
+//!
+//! * datasets whose transformed rectangles fit in the memory budget `M` are
+//!   solved by the classic in-memory plane sweep (the recursion base case),
+//! * larger datasets go through the external-memory distribution sweep
+//!   ([`exact_max_rs`]), and
+//! * when the machine has spare cores *and* the buffer is large enough for
+//!   concurrent slab workers, the distribution sweep runs its parallel slab
+//!   stage.
+//!
+//! Callers that do not want to reason about `N`, `M` and core counts construct
+//! an engine and call [`MaxRsEngine::solve`]; callers that do can inspect the
+//! decision via [`MaxRsEngine::select_strategy`] or force one via
+//! [`EngineOptions`].
+
+use maxrs_em::{EmConfig, EmContext, IoSnapshot, TupleFile};
+use maxrs_geometry::{RectSize, WeightedPoint};
+
+use crate::error::Result;
+use crate::exact::{exact_max_rs, load_objects, ExactMaxRsOptions};
+use crate::plane_sweep::max_rs_in_memory;
+use crate::records::{ObjectRecord, RectRecord};
+use crate::result::MaxRsResult;
+
+/// How a MaxRS query was (or would be) executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionStrategy {
+    /// Everything fits in the memory budget: one in-memory plane sweep.
+    InMemory,
+    /// External-memory distribution sweep on a single thread.
+    ExternalSequential,
+    /// External-memory distribution sweep with the parallel slab stage.
+    ExternalParallel,
+}
+
+impl ExecutionStrategy {
+    /// A short human-readable name ("in-memory", "em-sequential",
+    /// "em-parallel").
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionStrategy::InMemory => "in-memory",
+            ExecutionStrategy::ExternalSequential => "em-sequential",
+            ExecutionStrategy::ExternalParallel => "em-parallel",
+        }
+    }
+}
+
+/// Configuration of a [`MaxRsEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// The external-memory model (block size, buffer size) the engine
+    /// simulates when a query does not fit in memory.
+    pub em_config: EmConfig,
+    /// Base options for external runs; the `parallelism` field inside doubles
+    /// as the engine's worker cap (default: available cores).
+    pub exact: ExactMaxRsOptions,
+    /// Force a specific strategy instead of auto-selecting (useful for
+    /// benchmarks and equivalence tests).
+    ///
+    /// Forcing [`ExecutionStrategy::ExternalParallel`] still respects the
+    /// buffer-size worker cap: if the cap leaves a single worker, the run
+    /// executes — and its [`EngineRun`] truthfully reports —
+    /// [`ExecutionStrategy::ExternalSequential`].
+    pub force_strategy: Option<ExecutionStrategy>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            em_config: EmConfig::paper_synthetic(),
+            exact: ExactMaxRsOptions::default(),
+            force_strategy: None,
+        }
+    }
+}
+
+/// The outcome of one engine query: the MaxRS answer plus how it was computed
+/// and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineRun {
+    /// The MaxRS answer.
+    pub result: MaxRsResult,
+    /// The strategy the engine selected (or was forced to use).
+    pub strategy: ExecutionStrategy,
+    /// Worker threads used by the solve (1 unless `strategy` is
+    /// [`ExecutionStrategy::ExternalParallel`]).
+    pub workers: usize,
+    /// Blocks transferred while solving.  Zero for the in-memory strategy
+    /// under [`MaxRsEngine::solve`]; under [`MaxRsEngine::solve_file`] the
+    /// in-memory strategy counts the input file's scan.
+    pub io: IoSnapshot,
+}
+
+/// A facade that answers MaxRS queries, auto-selecting between the in-memory
+/// sweep, the sequential external distribution sweep and the parallel slab
+/// stage from the dataset size `N`, the memory budget `M` and the core count.
+///
+/// ```
+/// use maxrs_core::{ExecutionStrategy, MaxRsEngine};
+/// use maxrs_geometry::{RectSize, WeightedPoint};
+///
+/// let engine = MaxRsEngine::new();
+/// let stores = vec![
+///     WeightedPoint::unit(1.0, 1.0),
+///     WeightedPoint::unit(1.5, 1.2),
+///     WeightedPoint::unit(9.0, 9.0),
+/// ];
+/// let run = engine.solve(&stores, RectSize::square(2.0)).unwrap();
+/// assert_eq!(run.result.total_weight, 2.0);
+/// // Three objects fit in any buffer: the engine picked the plane sweep.
+/// assert_eq!(run.strategy, ExecutionStrategy::InMemory);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaxRsEngine {
+    opts: EngineOptions,
+}
+
+impl MaxRsEngine {
+    /// An engine with the paper's default EM configuration and all cores
+    /// available to the parallel slab stage.
+    pub fn new() -> Self {
+        MaxRsEngine::default()
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(opts: EngineOptions) -> Self {
+        MaxRsEngine { opts }
+    }
+
+    /// An engine with the given EM configuration and defaults otherwise.
+    pub fn with_em_config(em_config: EmConfig) -> Self {
+        MaxRsEngine {
+            opts: EngineOptions {
+                em_config,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Picks the execution strategy for a dataset of `n` objects and returns
+    /// it together with the worker count an external run would use.
+    ///
+    /// * `n` rectangles fit in the buffer (`n <= M/sizeof(RectRecord)`, with
+    ///   [`ExactMaxRsOptions::memory_rects`] honored as an override) →
+    ///   [`ExecutionStrategy::InMemory`];
+    /// * otherwise, if more than one worker survives the buffer-size cap
+    ///   (see [`ExactMaxRsOptions::effective_parallelism`]) →
+    ///   [`ExecutionStrategy::ExternalParallel`];
+    /// * otherwise → [`ExecutionStrategy::ExternalSequential`].
+    ///
+    /// The core count enters through the default of
+    /// [`ExactMaxRsOptions::parallelism`] (see
+    /// [`available_parallelism`](crate::parallel::available_parallelism));
+    /// an explicit `parallelism` override is honored as-is, so callers can
+    /// oversubscribe a core-limited machine deliberately.
+    ///
+    /// This prediction uses the engine's own [`EngineOptions::em_config`] and
+    /// therefore describes [`solve`](MaxRsEngine::solve);
+    /// [`solve_file`](MaxRsEngine::solve_file) derives the same decision from
+    /// the *passed context's* configuration instead.
+    pub fn select_strategy(&self, n: u64) -> (ExecutionStrategy, usize) {
+        self.select_for(n, self.opts.em_config)
+    }
+
+    /// Strategy selection against an explicit EM configuration (the engine's
+    /// own for [`solve`](MaxRsEngine::solve), the target context's for
+    /// [`solve_file`](MaxRsEngine::solve_file)).
+    fn select_for(&self, n: u64, config: EmConfig) -> (ExecutionStrategy, usize) {
+        let workers = self.opts.exact.effective_parallelism(config);
+        if let Some(forced) = self.opts.force_strategy {
+            return match forced {
+                // A forced parallel run still respects the buffer-size worker
+                // cap; report the strategy that would actually execute so
+                // this prediction always matches the produced `EngineRun`.
+                ExecutionStrategy::ExternalParallel if workers > 1 => (forced, workers),
+                ExecutionStrategy::ExternalParallel => {
+                    (ExecutionStrategy::ExternalSequential, 1)
+                }
+                _ => (forced, 1),
+            };
+        }
+        let mem_rects = self
+            .opts
+            .exact
+            .memory_rects
+            .unwrap_or_else(|| config.mem_records::<RectRecord>()) as u64;
+        if n <= mem_rects {
+            (ExecutionStrategy::InMemory, 1)
+        } else if workers > 1 {
+            (ExecutionStrategy::ExternalParallel, workers)
+        } else {
+            (ExecutionStrategy::ExternalSequential, 1)
+        }
+    }
+
+    /// Solves a MaxRS query over an in-memory object slice.
+    ///
+    /// External strategies run against a fresh [`EmContext`] with the engine's
+    /// configuration; the reported I/O covers the solve only (loading the
+    /// objects into the context is excluded, as in the paper's measurements).
+    pub fn solve(&self, objects: &[WeightedPoint], size: RectSize) -> Result<EngineRun> {
+        let (strategy, workers) = self.select_strategy(objects.len() as u64);
+        if strategy == ExecutionStrategy::InMemory {
+            return Ok(EngineRun {
+                result: max_rs_in_memory(objects, size),
+                strategy,
+                workers: 1,
+                io: IoSnapshot::default(),
+            });
+        }
+        let ctx = EmContext::new(self.opts.em_config);
+        let file = load_objects(&ctx, objects)?;
+        // No reset needed: solve_external reports the I/O as a delta, which
+        // already excludes the load above.
+        let run = self.solve_external(&ctx, &file, size, strategy, workers)?;
+        ctx.delete_file(file)?;
+        Ok(run)
+    }
+
+    /// Solves a MaxRS query over an object file already stored in `ctx`.
+    ///
+    /// Unlike [`solve`](MaxRsEngine::solve), the in-memory strategy here still
+    /// reads the file (and counts that scan's I/O); the reported I/O is the
+    /// delta of `ctx`'s counters across the call.
+    pub fn solve_file(
+        &self,
+        ctx: &EmContext,
+        objects: &TupleFile<ObjectRecord>,
+        size: RectSize,
+    ) -> Result<EngineRun> {
+        // The file lives in `ctx`, so the in-memory cutoff and worker cap
+        // must come from *its* configuration — the engine's own em_config
+        // only describes contexts the engine creates itself.
+        let (strategy, workers) = self.select_for(objects.len(), ctx.config());
+        if strategy == ExecutionStrategy::InMemory {
+            let before = ctx.stats();
+            let records = ctx.read_all(objects)?;
+            let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
+            return Ok(EngineRun {
+                result: max_rs_in_memory(&points, size),
+                strategy,
+                workers: 1,
+                io: ctx.stats().since(&before),
+            });
+        }
+        self.solve_external(ctx, objects, size, strategy, workers)
+    }
+
+    fn solve_external(
+        &self,
+        ctx: &EmContext,
+        objects: &TupleFile<ObjectRecord>,
+        size: RectSize,
+        strategy: ExecutionStrategy,
+        workers: usize,
+    ) -> Result<EngineRun> {
+        let exact_opts = ExactMaxRsOptions {
+            parallelism: if strategy == ExecutionStrategy::ExternalParallel {
+                workers
+            } else {
+                1
+            },
+            ..self.opts.exact
+        };
+        // Report what actually runs: even a forced ExternalParallel degrades
+        // to the sequential sweep when the buffer-size cap leaves one worker
+        // (see `ExactMaxRsOptions::effective_parallelism`), and the run must
+        // say so rather than echo the request.
+        let actual_workers = exact_opts.effective_parallelism(ctx.config());
+        let actual_strategy = if actual_workers > 1 {
+            ExecutionStrategy::ExternalParallel
+        } else {
+            ExecutionStrategy::ExternalSequential
+        };
+        let before = ctx.stats();
+        let result = exact_max_rs(ctx, objects, size, &exact_opts)?;
+        Ok(EngineRun {
+            result,
+            strategy: actual_strategy,
+            workers: actual_workers,
+            io: ctx.stats().since(&before),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::rect_objective;
+
+    fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 4.0).floor()))
+            .collect()
+    }
+
+    #[test]
+    fn small_dataset_selects_in_memory() {
+        let engine = MaxRsEngine::new();
+        let (strategy, _) = engine.select_strategy(100);
+        assert_eq!(strategy, ExecutionStrategy::InMemory);
+    }
+
+    #[test]
+    fn large_dataset_selects_an_external_strategy() {
+        let engine = MaxRsEngine::new();
+        let mem_rects = engine.options().em_config.mem_records::<RectRecord>() as u64;
+        let (strategy, workers) = engine.select_strategy(mem_rects + 1);
+        match strategy {
+            ExecutionStrategy::ExternalParallel => assert!(workers > 1),
+            ExecutionStrategy::ExternalSequential => assert_eq!(workers, 1),
+            ExecutionStrategy::InMemory => panic!("dataset larger than M must go external"),
+        }
+    }
+
+    #[test]
+    fn forced_strategy_is_respected() {
+        let opts = EngineOptions {
+            force_strategy: Some(ExecutionStrategy::ExternalSequential),
+            ..Default::default()
+        };
+        let engine = MaxRsEngine::with_options(opts);
+        assert_eq!(
+            engine.select_strategy(3).0,
+            ExecutionStrategy::ExternalSequential
+        );
+    }
+
+    #[test]
+    fn forced_parallel_under_a_tiny_buffer_reports_sequential() {
+        // 8 pool blocks -> worker quota 1: the forced parallel request cannot
+        // be honored, and the run must say what actually executed.
+        let engine = MaxRsEngine::with_options(EngineOptions {
+            em_config: EmConfig::new(512, 8 * 512).unwrap(),
+            exact: ExactMaxRsOptions {
+                parallelism: 4,
+                ..Default::default()
+            },
+            force_strategy: Some(ExecutionStrategy::ExternalParallel),
+        });
+        let objects = pseudo_random_objects(400, 3, 1000.0);
+        let run = engine.solve(&objects, RectSize::square(80.0)).unwrap();
+        assert_eq!(run.strategy, ExecutionStrategy::ExternalSequential);
+        assert_eq!(run.workers, 1);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_answer() {
+        let objects = pseudo_random_objects(600, 21, 2000.0);
+        let size = RectSize::square(180.0);
+        // A small buffer so 600 objects genuinely exceed M.
+        let em_config = EmConfig::new(512, 64 * 512).unwrap();
+        let reference = max_rs_in_memory(&objects, size);
+
+        let mut runs = Vec::new();
+        for forced in [
+            Some(ExecutionStrategy::InMemory),
+            Some(ExecutionStrategy::ExternalSequential),
+            Some(ExecutionStrategy::ExternalParallel),
+            None,
+        ] {
+            let engine = MaxRsEngine::with_options(EngineOptions {
+                em_config,
+                exact: ExactMaxRsOptions {
+                    memory_rects: Some(64),
+                    parallelism: 4,
+                    ..Default::default()
+                },
+                force_strategy: forced,
+            });
+            let run = engine.solve(&objects, size).unwrap();
+            assert_eq!(run.result.total_weight, reference.total_weight, "{forced:?}");
+            assert_eq!(
+                rect_objective(&objects, run.result.center, size),
+                run.result.total_weight,
+                "{forced:?}"
+            );
+            runs.push(run);
+        }
+        // The auto-selected run must have gone external (600 > M/rect).
+        assert_ne!(runs[3].strategy, ExecutionStrategy::InMemory);
+        // External strategies do I/O, the in-memory one does not.
+        assert_eq!(runs[0].io.total(), 0);
+        assert!(runs[1].io.total() > 0);
+    }
+
+    #[test]
+    fn solve_file_reports_io_delta() {
+        let objects = pseudo_random_objects(500, 5, 1000.0);
+        let em_config = EmConfig::new(512, 16 * 512).unwrap();
+        let engine = MaxRsEngine::with_em_config(em_config);
+        let ctx = EmContext::new(em_config);
+        let file = load_objects(&ctx, &objects).unwrap();
+        let run = engine.solve_file(&ctx, &file, RectSize::square(100.0)).unwrap();
+        assert!(run.io.total() > 0);
+        assert_eq!(
+            rect_objective(&objects, run.result.center, RectSize::square(100.0)),
+            run.result.total_weight
+        );
+        ctx.delete_file(file).unwrap();
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let engine = MaxRsEngine::new();
+        let run = engine.solve(&[], RectSize::square(10.0)).unwrap();
+        assert_eq!(run.result.total_weight, 0.0);
+        assert_eq!(run.strategy, ExecutionStrategy::InMemory);
+    }
+}

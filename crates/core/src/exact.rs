@@ -10,20 +10,27 @@
 //!    budget `M`, run the in-memory plane sweep; otherwise divide the slab
 //!    into `m = Θ(M/B)` sub-slabs, distribute the rectangles
 //!    ([`crate::slab::distribute`]), solve each sub-slab recursively and
-//!    combine the child slab-files with [`merge_sweep`](crate::merge_sweep).
+//!    combine the child slab-files with [`merge_sweep`](crate::merge_sweep()).
 //! 4. **Extract** the best tuple of the final slab-file: its max-interval and
 //!    the strip up to the next tuple form the reported max-region; the
 //!    centroid of that region is an optimal location.
 
-use maxrs_em::{external_sort_by_key, EmContext, TupleFile};
+use maxrs_em::{external_sort_by_key, EmConfig, EmContext, TupleFile};
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
 use crate::error::{CoreError, Result};
-use crate::merge_sweep::merge_sweep;
+use crate::merge_sweep::{merge_sweep, merge_sweep_tree};
+use crate::parallel::{available_parallelism, parallel_map};
 use crate::plane_sweep::plane_sweep_slab;
 use crate::records::{ObjectRecord, RectRecord, SlabTuple};
 use crate::result::MaxRsResult;
 use crate::slab::{compute_partition, distribute, BoundarySource};
+
+/// Minimum buffer-pool blocks each parallel worker needs before adding more
+/// workers pays off: roughly one input block, one output block and headroom
+/// for the merge inputs.  Below this the shared pool thrashes, so
+/// [`ExactMaxRsOptions::effective_parallelism`] caps the worker count.
+const MIN_POOL_BLOCKS_PER_WORKER: usize = 8;
 
 /// Tuning knobs of [`exact_max_rs`].  The defaults follow the EM configuration
 /// of the context (`M` and `m` derived from the buffer size), exactly like the
@@ -41,6 +48,26 @@ pub struct ExactMaxRsOptions {
     /// Keep the sorted rectangle file instead of deleting it (useful when the
     /// caller wants to re-run with different parameters).
     pub keep_intermediates: bool,
+    /// Maximum number of worker threads for the parallel slab stage
+    /// (default: the available core count; `1` reproduces the sequential
+    /// distribution sweep bit-for-bit).
+    ///
+    /// With more than one worker, the sub-slabs of the top recursion node are
+    /// solved concurrently and their slab-files are combined by the pairwise
+    /// [`merge_sweep_tree`] reduction instead of the flat `m`-way
+    /// [`merge_sweep`].  Results are identical for integer-valued weights;
+    /// see `merge_sweep_tree` for the floating-point association caveat.  The
+    /// worker count actually used is additionally capped by the buffer size —
+    /// see [`ExactMaxRsOptions::effective_parallelism`].
+    ///
+    /// **Memory-model note:** each worker keeps the full in-memory budget
+    /// `M` for its base cases (as in the parallel-EM model, where every
+    /// processor owns a private memory of size `M`), so a parallel run may
+    /// hold up to `workers x M` bytes of rectangle data at once.  Keeping the
+    /// per-worker threshold at `M` — rather than dividing it — is what makes
+    /// the recursion shape, and therefore the result, identical to the
+    /// sequential sweep.
+    pub parallelism: usize,
 }
 
 impl Default for ExactMaxRsOptions {
@@ -50,7 +77,38 @@ impl Default for ExactMaxRsOptions {
             memory_rects: None,
             boundary_sample: 8192,
             keep_intermediates: false,
+            parallelism: available_parallelism(),
         }
+    }
+}
+
+impl ExactMaxRsOptions {
+    /// The default options with the parallel slab stage disabled: exactly the
+    /// paper's sequential distribution sweep.
+    pub fn sequential() -> Self {
+        ExactMaxRsOptions {
+            parallelism: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The default options with an explicit worker-thread cap.
+    pub fn with_parallelism(workers: usize) -> Self {
+        ExactMaxRsOptions {
+            parallelism: workers.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The number of workers the sweep will actually use under `config`:
+    /// [`parallelism`](ExactMaxRsOptions::parallelism), but never more than
+    /// one worker per 8 buffer-pool blocks (each worker needs an input block,
+    /// an output block and merge headroom).  Tiny buffers (as used by
+    /// I/O-accounting tests and ablations) therefore degrade gracefully to
+    /// the sequential path instead of thrashing the shared pool.
+    pub fn effective_parallelism(&self, config: EmConfig) -> usize {
+        let pool_quota = (config.buffer_blocks() / MIN_POOL_BLOCKS_PER_WORKER).max(1);
+        self.parallelism.max(1).min(pool_quota)
     }
 }
 
@@ -78,7 +136,11 @@ pub fn exact_max_rs(
     ctx.delete_file(rects)?;
 
     // 3. Distribution-sweep recursion.
-    let runner = Runner { ctx, opts: *opts };
+    let runner = Runner {
+        ctx,
+        opts: *opts,
+        workers: opts.effective_parallelism(ctx.config()),
+    };
     let final_slab = runner.solve(sorted, Interval::UNBOUNDED, true)?;
 
     // 4. Extract the best region from the final slab-file.
@@ -131,6 +193,10 @@ pub fn transform_to_rect_file(
 struct Runner<'a> {
     ctx: &'a EmContext,
     opts: ExactMaxRsOptions,
+    /// Worker threads available to this recursion node; children run with 1
+    /// (the top-level slabs are the coarsest — and therefore best — unit of
+    /// parallel work).
+    workers: usize,
 }
 
 impl<'a> Runner<'a> {
@@ -182,25 +248,97 @@ impl<'a> Runner<'a> {
 
         // Conquer each sub-slab.  `solve_child` guards against the pathological
         // case where a child is as large as its parent (extreme ties on x).
-        let mut child_files = Vec::with_capacity(partition.num_slabs());
-        for (i, child_input) in dist.slab_inputs.into_iter().enumerate() {
-            let child_slab = partition.slab(i);
-            let child = self.solve_child(child_input, child_slab, n)?;
-            child_files.push(child);
-        }
-
-        // Combine.
-        let merged = merge_sweep(
-            self.ctx,
-            &child_files,
-            &partition.slabs(),
-            &dist.span_events,
-        )?;
-        for f in child_files {
-            self.ctx.delete_file(f)?;
-        }
+        // With workers to spare, the sub-slabs — independent by construction —
+        // are solved concurrently, each child running sequentially inside its
+        // worker.  Any failure deletes the files this node still owns —
+        // including the span events — so a failed run leaves no orphans on a
+        // long-lived context.
+        let workers = self.workers.min(partition.num_slabs());
+        let merge_result = self.conquer_and_combine(dist.slab_inputs, &partition, &dist.span_events, workers, n);
+        let merged = match merge_result {
+            Ok(merged) => merged,
+            Err(e) => {
+                let _ = self.ctx.delete_file(dist.span_events);
+                return Err(e);
+            }
+        };
         self.ctx.delete_file(dist.span_events)?;
         Ok(merged)
+    }
+
+    /// Solves every sub-slab (in parallel when `workers > 1`) and combines the
+    /// child slab-files with the span events.  On failure, all successfully
+    /// produced child files are deleted before the error is returned; the
+    /// span-events file stays with the caller.
+    fn conquer_and_combine(
+        &self,
+        slab_inputs: Vec<TupleFile<RectRecord>>,
+        partition: &crate::slab::SlabPartition,
+        span_events: &TupleFile<crate::records::SpanEvent>,
+        workers: usize,
+        parent_size: usize,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let outcomes = if workers > 1 {
+            let child = Runner {
+                ctx: self.ctx,
+                opts: self.opts,
+                workers: 1,
+            };
+            parallel_map(workers, slab_inputs, |i, child_input| {
+                child.solve_child(child_input, partition.slab(i), parent_size)
+            })
+        } else {
+            slab_inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, child_input)| self.solve_child(child_input, partition.slab(i), parent_size))
+                .collect()
+        };
+
+        let mut child_files = Vec::with_capacity(outcomes.len());
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(file) => child_files.push(file),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            for f in child_files {
+                let _ = self.ctx.delete_file(f);
+            }
+            return Err(e);
+        }
+
+        if workers > 1 {
+            // Pairwise tree reduction (consumes the child files, cleaning up
+            // on its own errors); identical to the flat sweep, see
+            // `merge_sweep_tree`.
+            merge_sweep_tree(
+                self.ctx,
+                child_files,
+                &partition.slabs(),
+                span_events,
+                self.workers,
+            )
+        } else {
+            match merge_sweep(self.ctx, &child_files, &partition.slabs(), span_events) {
+                Ok(merged) => {
+                    for f in child_files {
+                        self.ctx.delete_file(f)?;
+                    }
+                    Ok(merged)
+                }
+                Err(e) => {
+                    for f in child_files {
+                        let _ = self.ctx.delete_file(f);
+                    }
+                    Err(e)
+                }
+            }
+        }
     }
 
     /// Recurses into a child slab, guarding against pathological inputs where
@@ -247,7 +385,7 @@ fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<Max
             best_next_y = Some(t.y);
             awaiting_next = false;
         }
-        if best.map_or(true, |b| t.sum > b.sum) {
+        if best.is_none_or(|b| t.sum > b.sum) {
             best = Some(t);
             best_next_y = None;
             awaiting_next = true;

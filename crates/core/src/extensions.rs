@@ -88,7 +88,7 @@ pub fn min_rs_in_memory(objects: &[WeightedPoint], size: RectSize, domain: Rect)
             // reported weight" guarantee.
             return;
         }
-        if best.as_ref().map_or(true, |(b, _, _)| sum > *b) {
+        if best.as_ref().is_none_or(|(b, _, _)| sum > *b) {
             best = Some((sum, x, Interval::new(y_lo, y_hi)));
         }
     };

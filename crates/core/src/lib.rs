@@ -13,12 +13,45 @@
 //!   the recursion base case and as a convenience API for small datasets,
 //! * [`exact_max_crs_in_memory`] — the exact MaxCRS reference used to measure
 //!   approximation quality (Figure 17 of the paper),
-//! * the building blocks (slab partitioning, slab-files, MergeSweep, segment
-//!   tree, uniform grid) as documented public modules.
+//! * the building blocks (slab partitioning, slab-files, MergeSweep — flat
+//!   and pairwise-tree, segment tree, uniform grid) as documented public
+//!   modules,
+//! * [`MaxRsEngine`] — a facade that auto-selects between the in-memory
+//!   sweep, the sequential external sweep and the **parallel slab stage**
+//!   from the dataset size, the memory budget and the core count.
 //!
 //! The external-memory algorithms run against a [`maxrs_em::EmContext`], which
 //! simulates a block device with a bounded buffer pool and counts every block
 //! transfer — the paper's performance metric.
+//!
+//! ## The engine
+//!
+//! Most callers only need [`MaxRsEngine`]:
+//!
+//! ```
+//! use maxrs_core::{EngineOptions, ExactMaxRsOptions, ExecutionStrategy, MaxRsEngine};
+//! use maxrs_em::EmConfig;
+//! use maxrs_geometry::{RectSize, WeightedPoint};
+//!
+//! // A tight memory budget so even a small dataset must go external.
+//! let engine = MaxRsEngine::with_options(EngineOptions {
+//!     em_config: EmConfig::new(512, 16 * 512).unwrap(),
+//!     exact: ExactMaxRsOptions::default(),
+//!     force_strategy: None,
+//! });
+//!
+//! let objects: Vec<WeightedPoint> = (0..500)
+//!     .map(|i| WeightedPoint::unit((i % 50) as f64 * 10.0, (i / 50) as f64 * 10.0))
+//!     .collect();
+//! let run = engine.solve(&objects, RectSize::square(25.0)).unwrap();
+//!
+//! // 500 rectangles exceed M here, so the engine picked an external strategy
+//! // and did real (simulated) I/O; the answer matches the in-memory sweep.
+//! assert_ne!(run.strategy, ExecutionStrategy::InMemory);
+//! assert!(run.io.total() > 0);
+//! let reference = maxrs_core::max_rs_in_memory(&objects, RectSize::square(25.0));
+//! assert_eq!(run.result.total_weight, reference.total_weight);
+//! ```
 //!
 //! ## Quick start
 //!
@@ -53,11 +86,13 @@
 
 pub mod approx;
 pub mod crs_exact;
+pub mod engine;
 mod error;
 pub mod exact;
 pub mod extensions;
 pub mod grid;
 pub mod merge_sweep;
+pub mod parallel;
 pub mod plane_sweep;
 pub mod records;
 pub mod reference;
@@ -67,6 +102,7 @@ pub mod slab;
 
 pub use approx::{approx_max_crs, approx_max_crs_from_objects, candidate_points, ApproxMaxCrsOptions};
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
+pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, Result};
 pub use exact::{
     exact_max_rs, exact_max_rs_from_objects, load_objects, transform_to_rect_file,
@@ -74,7 +110,8 @@ pub use exact::{
 };
 pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
 pub use grid::UniformGrid;
-pub use merge_sweep::merge_sweep;
+pub use merge_sweep::{merge_sweep, merge_sweep_tree};
+pub use parallel::{available_parallelism, parallel_map};
 pub use plane_sweep::{
     best_region_from_tuples, max_rs_in_memory, plane_sweep_slab, transform_objects,
 };

@@ -1,0 +1,136 @@
+//! A minimal scoped-thread work-pool for the parallel slab stage.
+//!
+//! The build environment cannot pull `rayon` from crates.io, so the small
+//! primitive the distribution sweep needs — an order-preserving parallel map
+//! over an owned work list with a bounded worker count — is implemented here
+//! on `std::thread::scope`.  Workers pull item indices from a shared atomic
+//! cursor, so uneven per-slab costs balance automatically, and results land in
+//! their input slot, so the output order (and therefore everything downstream)
+//! is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the standard library reports as available,
+/// falling back to 1 when the quota cannot be determined.
+///
+/// This is what `ExactMaxRsOptions::default()` uses for its `parallelism`
+/// knob; on cgroup-limited containers it honors the CPU quota, not the host
+/// core count.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` using at most `workers` threads and
+/// returns the results in input order.
+///
+/// With `workers <= 1` (or a single item) the map runs on the calling thread
+/// with no thread overhead at all, which keeps the sequential path of
+/// ExactMaxRS free of any scheduling artifacts.
+pub fn parallel_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn reports_at_least_one_core() {
+        assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn maps_in_order_sequentially_and_in_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 4, 7, 200] {
+            let got = parallel_map(workers, items.clone(), |_, x| x * 3);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn passes_the_item_index() {
+        let got = parallel_map(3, vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let n = 1000;
+        let out = parallel_map(8, (0..n).collect::<Vec<_>>(), |_, x: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = parallel_map(4, Vec::new(), |_, x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(4, vec![9], |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(2, vec![1, 2, 3], |_, x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

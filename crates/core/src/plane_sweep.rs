@@ -11,7 +11,7 @@
 //! * the base case of the [`ExactMaxRS`](crate::exact) recursion (a slab whose
 //!   rectangles fit in memory),
 //! * the building block of the in-memory convenience API
-//!   [`max_rs_in_memory`](crate::max_rs_in_memory), and
+//!   [`max_rs_in_memory`](crate::plane_sweep::max_rs_in_memory()), and
 //! * (conceptually) the algorithm the external baselines externalize.
 //!
 //! # Max-interval selection (deviation from the paper's `GetMaxInterval`)

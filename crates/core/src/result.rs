@@ -1,7 +1,6 @@
 //! Result types returned by the MaxRS / MaxCRS algorithms.
 
 use maxrs_geometry::{Point, Rect, Weight};
-use serde::{Deserialize, Serialize};
 
 /// Result of a MaxRS query.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// center inside [`region`](MaxRsResult::region) covers the same (maximum)
 /// total weight.  [`center`](MaxRsResult::center) is a representative interior
 /// point of that region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaxRsResult {
     /// A point of the max-region: an optimal center for the query rectangle.
     pub center: Point,
@@ -37,7 +36,7 @@ impl MaxRsResult {
 }
 
 /// Result of a MaxCRS query (exact or approximate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaxCrsResult {
     /// The chosen circle center.
     pub center: Point,

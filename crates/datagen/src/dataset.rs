@@ -5,13 +5,12 @@ use maxrs_em::{EmContext, TupleFile};
 use maxrs_geometry::{Rect, WeightedPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::real::{ne_surrogate, ux_surrogate, NE_CARDINALITY, UX_CARDINALITY};
 use crate::synthetic::{gaussian, uniform, SPACE_EXTENT};
 
 /// The four dataset families of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Uniformly distributed synthetic points.
     Uniform,
@@ -59,10 +58,12 @@ impl DatasetKind {
 }
 
 /// How object weights are assigned.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum WeightMode {
     /// Every object has weight 1 (the COUNT setting used by the paper's
     /// experiments).
+    #[default]
     Unit,
     /// Weights drawn uniformly from `[1, max]` (exercises the weighted SUM
     /// code paths).
@@ -72,11 +73,6 @@ pub enum WeightMode {
     },
 }
 
-impl Default for WeightMode {
-    fn default() -> Self {
-        WeightMode::Unit
-    }
-}
 
 /// A fully generated dataset.
 #[derive(Debug, Clone)]

@@ -1,6 +1,5 @@
 //! EM model configuration: block size and buffer (main memory) size.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{EmError, Record, Result};
 
@@ -10,7 +9,7 @@ use crate::{EmError, Record, Result};
 /// 4 KB) and the *buffer size* — the amount of main memory an algorithm may
 /// use (default 256 KB for the real datasets and 1024 KB for the synthetic
 /// ones).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EmConfig {
     /// Size of one disk block in bytes.
     pub block_size: usize,

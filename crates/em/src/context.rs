@@ -12,8 +12,20 @@ use crate::{
 ///
 /// One `EmContext` corresponds to one experimental run: algorithms receive a
 /// `&EmContext`, allocate temporary files on it, and the harness reads the I/O
-/// counters afterwards.  The context is `Send + Sync`, so independent runs can
-/// execute on different threads, each with its own context.
+/// counters afterwards.
+///
+/// # Concurrency
+///
+/// The context is `Send + Sync` and may be **shared across threads** (by
+/// reference from scoped threads, or behind an `Arc`): the disk directory and
+/// the buffer pool are guarded by internal mutexes, and the I/O counters are
+/// sharded per thread and merged on [`stats`](EmContext::stats).  This is what
+/// the parallel slab stage of ExactMaxRS relies on — each worker creates,
+/// reads and deletes its own temporary files concurrently.  Block-level
+/// accesses are serialized by the pool lock, so the *counted* I/O stays exact;
+/// wall-clock parallelism comes from the CPU work the algorithms do between
+/// block accesses (sorting, plane sweeps).  Writers and readers themselves are
+/// not `Sync`: each thread uses its own [`TupleWriter`]/[`TupleReader`].
 #[derive(Debug)]
 pub struct EmContext {
     config: EmConfig,
@@ -68,6 +80,12 @@ impl EmContext {
     /// Total blocks currently allocated on the simulated disk.
     pub fn disk_blocks(&self) -> u64 {
         self.disk.total_blocks()
+    }
+
+    /// Number of files currently allocated on the simulated disk (diagnostic;
+    /// used by tests asserting temporary-file hygiene).
+    pub fn num_files(&self) -> usize {
+        self.disk.num_files()
     }
 
     // ----- typed record files ------------------------------------------------
@@ -215,6 +233,33 @@ mod tests {
         assert_eq!(ctx.raw_file_blocks(f).unwrap(), 1);
         ctx.delete_raw_file(f).unwrap();
         assert!(ctx.delete_raw_file(f).is_err());
+    }
+
+    #[test]
+    fn context_is_sync_and_shareable_across_scoped_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<EmContext>();
+
+        // Several workers create, fill, read back and delete private files
+        // through one shared context; contents stay isolated and the final
+        // disk is empty.
+        let ctx = EmContext::new(EmConfig::new(64, 1024).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    for round in 0..5u64 {
+                        let data: Vec<u64> = (0..200).map(|i| i * 1000 + t).collect();
+                        let file = ctx.write_all(&data).unwrap();
+                        let back = ctx.read_all(&file).unwrap();
+                        assert_eq!(back, data, "thread {t} round {round}");
+                        ctx.delete_file(file).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(ctx.disk_blocks(), 0);
+        assert!(ctx.stats().total() > 0);
     }
 
     #[test]

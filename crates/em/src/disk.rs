@@ -5,12 +5,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use crate::{EmError, IoSnapshot, IoStats, Result};
 
 /// Identifier of a file on the simulated disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u64);
 
 /// A simulated disk.
@@ -163,7 +162,7 @@ mod tests {
 
         let data = vec![7u8; 64];
         disk.write_block(f, 0, &data).unwrap();
-        disk.write_block(f, 1, &vec![9u8; 64]).unwrap();
+        disk.write_block(f, 1, &[9u8; 64]).unwrap();
         assert_eq!(disk.num_blocks(f).unwrap(), 2);
 
         let mut out = vec![0u8; 64];
@@ -181,7 +180,7 @@ mod tests {
     fn sparse_writes_extend_with_zeros() {
         let disk = SimDisk::new(16);
         let f = disk.create_file();
-        disk.write_block(f, 3, &vec![1u8; 16]).unwrap();
+        disk.write_block(f, 3, &[1u8; 16]).unwrap();
         assert_eq!(disk.num_blocks(f).unwrap(), 4);
         let mut out = vec![2u8; 16];
         disk.read_block(f, 1, &mut out).unwrap();
@@ -215,8 +214,8 @@ mod tests {
         let b = disk.create_file();
         assert_ne!(a, b);
         assert_eq!(disk.num_files(), 2);
-        disk.write_block(a, 0, &vec![0u8; 16]).unwrap();
-        disk.write_block(b, 0, &vec![0u8; 16]).unwrap();
+        disk.write_block(a, 0, &[0u8; 16]).unwrap();
+        disk.write_block(b, 0, &[0u8; 16]).unwrap();
         assert_eq!(disk.total_blocks(), 2);
         disk.reset_stats();
         assert_eq!(disk.stats().total(), 0);

@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn cached_reads_cost_no_io() {
         let (disk, mut pool, file) = setup(4);
-        disk.write_block(file, 0, &vec![5u8; 32]).unwrap();
+        disk.write_block(file, 0, &[5u8; 32]).unwrap();
         disk.reset_stats();
 
         let v = pool.with_read(&disk, file, 0, |data| data[0]).unwrap();
@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn read_modify_write_fetches_existing_block() {
         let (disk, mut pool, file) = setup(4);
-        disk.write_block(file, 0, &vec![9u8; 32]).unwrap();
+        disk.write_block(file, 0, &[9u8; 32]).unwrap();
         disk.reset_stats();
         pool.with_write(&disk, file, 0, false, |data| {
             assert_eq!(data[0], 9);

@@ -102,8 +102,8 @@ where
         // cost is unaffected.
         let mut best: Option<usize> = None;
         let mut best_head: Option<T> = None;
-        for i in 0..readers.len() {
-            let head = match readers[i].peek()? {
+        for (i, reader) in readers.iter_mut().enumerate() {
+            let head = match reader.peek()? {
                 Some(h) => h.clone(),
                 None => continue,
             };

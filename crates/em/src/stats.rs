@@ -1,8 +1,20 @@
 //! I/O accounting.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use serde::{Deserialize, Serialize};
+/// Number of counter shards.  Each thread is pinned to one shard, so
+/// concurrent slab workers never contend on the same cache line; snapshots
+/// merge all shards into one global view.
+const SHARDS: usize = 16;
+
+/// One cache-line-aligned pair of counters, owned (in the common case) by the
+/// threads hashed onto it.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
 
 /// Thread-safe counters of block transfers, shared between the simulated disk
 /// and the context that owns it.
@@ -11,10 +23,24 @@ use serde::{Deserialize, Serialize};
 /// back (on dirty eviction or explicit flush) increments the respective
 /// counter.  The paper's performance metric is exactly `reads + writes`
 /// ("the number of transferred blocks during the entire process").
+///
+/// # Concurrency
+///
+/// Counters are **sharded per thread**: each recording thread increments a
+/// private cache-line-aligned shard chosen on first use, and
+/// [`snapshot`](IoStats::snapshot) merges the shards.  This keeps the
+/// accounting exact under the parallel slab stage of ExactMaxRS without
+/// serializing workers on a single hot atomic.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
+    shards: [Shard; SHARDS],
+}
+
+/// Round-robin assignment of threads to shards.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
 }
 
 impl IoStats {
@@ -23,33 +49,41 @@ impl IoStats {
         IoStats::default()
     }
 
+    fn my_shard(&self) -> &Shard {
+        &self.shards[MY_SHARD.with(|&s| s)]
+    }
+
     /// Records one block read.
     pub fn record_read(&self) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.my_shard().reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one block write.
     pub fn record_write(&self) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.my_shard().writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Returns the current counter values.
+    /// Returns the current counter values, merged over all per-thread shards.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+        let mut snap = IoSnapshot::default();
+        for shard in &self.shards {
+            snap.reads += shard.reads.load(Ordering::Relaxed);
+            snap.writes += shard.writes.load(Ordering::Relaxed);
         }
+        snap
     }
 
-    /// Resets both counters to zero.
+    /// Resets all shards to zero.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.reads.store(0, Ordering::Relaxed);
+            shard.writes.store(0, Ordering::Relaxed);
+        }
     }
 }
 
 /// A point-in-time copy of the I/O counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoSnapshot {
     /// Number of blocks read from disk.
     pub reads: u64,
@@ -140,5 +174,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(stats.snapshot().reads, 4000);
+    }
+
+    #[test]
+    fn shards_merge_into_one_exact_total() {
+        use std::sync::Arc;
+        // More threads than shards: wrap-around assignment must still produce
+        // an exact global count.
+        let stats = Arc::new(IoStats::new());
+        let handles: Vec<_> = (0..SHARDS * 2 + 3)
+            .map(|_| {
+                let s = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.record_read();
+                        s.record_write();
+                    }
+                })
+            })
+            .collect();
+        let n = handles.len() as u64;
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.snapshot().reads, 100 * n);
+        assert_eq!(stats.snapshot().writes, 100 * n);
     }
 }

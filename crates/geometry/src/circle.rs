@@ -1,11 +1,10 @@
 //! Circles (disks) for the MaxCRS problem.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Coord, Point, Rect, RectSize};
 
 /// A circle given by its center and radius.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
     /// Center of the circle.
     pub center: Point,

@@ -5,12 +5,11 @@
 //! of the distribution sweep extend to infinity), so the type deliberately
 //! works with raw `f64` endpoints rather than a bounded range type.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Coord;
 
 /// A (possibly unbounded) interval `[lo, hi]` on the x-axis with `lo <= hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Lower endpoint (may be `-∞`).
     pub lo: Coord,

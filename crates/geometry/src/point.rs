@@ -1,11 +1,10 @@
 //! Points in the Euclidean plane.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Coord;
 
 /// A location in the 2-dimensional data space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// The x-coordinate.
     pub x: Coord,

@@ -1,11 +1,10 @@
 //! Axis-parallel rectangles.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Coord, Interval, Point};
 
 /// The extent `d1 × d2` of the MaxRS query rectangle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RectSize {
     /// Width (`d1` in the paper).
     pub width: Coord,
@@ -35,7 +34,7 @@ impl RectSize {
 }
 
 /// An axis-parallel rectangle `[x_lo, x_hi] × [y_lo, y_hi]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Lower x bound.
     pub x_lo: Coord,

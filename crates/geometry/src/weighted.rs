@@ -1,11 +1,10 @@
 //! Weighted spatial objects — the elements of the dataset `O`.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Circle, Coord, Point, Rect, RectSize, Weight};
 
 /// A spatial object: a point location with a non-negative weight `w(o)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedPoint {
     /// Location of the object.
     pub point: Point,

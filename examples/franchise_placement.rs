@@ -16,7 +16,7 @@
 
 use maxrs::baselines::{asb_tree_sweep, naive_sweep};
 use maxrs::datagen::{Dataset, DatasetKind};
-use maxrs::{exact_max_rs, load_objects, EmConfig, EmContext, ExactMaxRsOptions, RectSize};
+use maxrs::{load_objects, EmConfig, EmContext, MaxRsEngine, RectSize};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A city of 20,000 residences in a 1,000 km x 1,000 km space (the paper's
@@ -34,15 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A modest machine: 4 KB blocks, 128 KB of buffer.
     let config = EmConfig::new(4096, 128 * 1024)?;
 
-    // --- ExactMaxRS -----------------------------------------------------------
+    // --- ExactMaxRS through the engine ------------------------------------------
+    // The engine sees 20k objects against a 128 KB budget and routes the query
+    // to the external distribution sweep (parallel if cores and buffer allow).
     let ctx = EmContext::new(config);
     let objects = load_objects(&ctx, &city.objects)?;
     ctx.reset_stats();
-    let best = exact_max_rs(&ctx, &objects, delivery, &ExactMaxRsOptions::default())?;
-    let exact_io = ctx.stats().total();
+    let engine = MaxRsEngine::with_em_config(config);
+    let run = engine.solve_file(&ctx, &objects, delivery)?;
+    let best = run.result;
+    let exact_io = run.io.total();
     println!(
-        "ExactMaxRS : place the store at {} -> {} residences in range ({} I/Os)",
-        best.center, best.total_weight, exact_io
+        "ExactMaxRS : place the store at {} -> {} residences in range \
+         ({} I/Os, strategy {}, {} worker(s))",
+        best.center,
+        best.total_weight,
+        exact_io,
+        run.strategy.name(),
+        run.workers
     );
 
     // --- aSB-tree baseline ------------------------------------------------------

@@ -1,5 +1,6 @@
-//! Quickstart: solve a MaxRS query in memory and through the external-memory
-//! pipeline, and a MaxCRS query with the approximation algorithm.
+//! Quickstart: solve a MaxRS query through the [`MaxRsEngine`] facade, then
+//! peek under the hood (in-memory sweep, external-memory pipeline) and finish
+//! with a MaxCRS query via the approximation algorithm.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,7 +9,7 @@
 use maxrs::core::ApproxMaxCrsOptions;
 use maxrs::{
     approx_max_crs_from_objects, exact_max_rs_from_objects, max_rs_in_memory, EmConfig, EmContext,
-    ExactMaxRsOptions, RectSize, WeightedPoint,
+    ExactMaxRsOptions, MaxRsEngine, RectSize, WeightedPoint,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,14 +23,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         WeightedPoint::at(70.0, 10.0, 2.0),
     ];
 
-    // --- MaxRS, in memory -----------------------------------------------------
+    // --- MaxRS through the engine ----------------------------------------------
     // Where should we center a 6 x 6 service area to cover the most weight?
+    // The engine picks the execution strategy from N, the memory budget and
+    // the core count; six objects obviously stay in memory.
     let size = RectSize::square(6.0);
+    let engine = MaxRsEngine::new();
+    let run = engine.solve(&objects, size)?;
+    println!(
+        "[engine    ] best 6x6 rectangle center: {} covering weight {} (strategy: {})",
+        run.result.center,
+        run.result.total_weight,
+        run.strategy.name()
+    );
+
+    // --- MaxRS, in memory -----------------------------------------------------
+    // The same sweep, invoked directly.
     let in_memory = max_rs_in_memory(&objects, size);
     println!(
         "[in-memory ] best 6x6 rectangle center: {} covering weight {}",
         in_memory.center, in_memory.total_weight
     );
+    assert_eq!(run.result.total_weight, in_memory.total_weight);
 
     // --- MaxRS, external memory -------------------------------------------------
     // The same query through ExactMaxRS against a simulated disk: identical

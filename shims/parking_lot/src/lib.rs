@@ -1,0 +1,127 @@
+//! Offline stand-in for the [`parking_lot`](https://crates.io/crates/parking_lot)
+//! crate.
+//!
+//! The build environment of this repository has no access to crates.io, so the
+//! tiny API slice the workspace relies on — [`Mutex`] and [`RwLock`] with
+//! non-poisoning guards — is provided here on top of `std::sync`.  Poisoning
+//! is translated into lock acquisition that ignores the poison flag, matching
+//! parking_lot's semantics (a panicking thread does not wedge the lock for
+//! everyone else).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock with the `parking_lot::Mutex` API: `lock()` returns
+/// the guard directly (no `Result`) and panicking while holding the lock does
+/// not poison it.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking
+    /// (possible because `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A reader-writer lock with the `parking_lot::RwLock` API: `read()`/`write()`
+/// return guards directly and the lock never poisons.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(7);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn lock_survives_panicking_holder() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // A parking_lot-style mutex must still be usable afterwards.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, providing the [`Normal`] distribution (the only one this workspace
+//! uses) over the local `rand` shim via the Box–Muller transform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, StandardSample};
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; fails if `std_dev` is negative or not
+    /// finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one standard normal deviate.  The
+        // second deviate is discarded to keep the distribution stateless.
+        let mut u1 = f64::sample_standard(rng);
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = f64::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let normal = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let normal = Normal::new(4.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 4.0);
+        }
+    }
+}

@@ -14,7 +14,23 @@
 //! * [`baselines`] — the externalized plane-sweep baselines (Naïve and
 //!   aSB-tree) the paper compares against.
 //!
-//! The most common entry points are re-exported at the crate root:
+//! The most common entry points are re-exported at the crate root.  The
+//! [`MaxRsEngine`] facade picks the execution strategy (in-memory sweep,
+//! sequential external sweep, or the parallel slab stage) per query:
+//!
+//! ```
+//! use maxrs::{MaxRsEngine, RectSize, WeightedPoint};
+//!
+//! let stores = vec![
+//!     WeightedPoint::unit(2.0, 3.0),
+//!     WeightedPoint::unit(2.5, 3.5),
+//!     WeightedPoint::unit(9.0, 9.0),
+//! ];
+//! let run = MaxRsEngine::new().solve(&stores, RectSize::square(2.0)).unwrap();
+//! assert_eq!(run.result.total_weight, 2.0);
+//! ```
+//!
+//! The individual algorithms remain directly callable:
 //!
 //! ```
 //! use maxrs::{max_rs_in_memory, RectSize, WeightedPoint};
@@ -40,7 +56,8 @@ pub use maxrs_geometry as geometry;
 pub use maxrs_core::{
     approx_max_crs, approx_max_crs_from_objects, exact_max_crs_in_memory, exact_max_rs,
     exact_max_rs_from_objects, load_objects, max_rs_in_memory, ApproxMaxCrsOptions,
-    ExactMaxRsOptions, MaxCrsResult, MaxRsResult,
+    EngineOptions, EngineRun, ExactMaxRsOptions, ExecutionStrategy, MaxCrsResult, MaxRsEngine,
+    MaxRsResult,
 };
 pub use maxrs_em::{EmConfig, EmContext, IoSnapshot};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
