@@ -4,13 +4,14 @@
 //! the paper.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use maxrs_bench::runner::run_engine;
+use maxrs_bench::runner::{run_engine, run_query};
 use maxrs_core::{
-    load_objects, max_rs_in_memory, EngineOptions, ExactMaxRsOptions, MaxRsEngine, SegmentTree,
+    load_objects, max_rs_in_memory, EngineOptions, ExactMaxRsOptions, MaxRsEngine, Query,
+    SegmentTree,
 };
 use maxrs_datagen::{Dataset, DatasetKind};
 use maxrs_em::{external_sort_by_key, EmConfig, EmContext};
-use maxrs_geometry::RectSize;
+use maxrs_geometry::{Rect, RectSize};
 
 fn bench_segment_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("segment_tree");
@@ -106,11 +107,54 @@ fn bench_engine_parallelism(c: &mut Criterion) {
     }
 }
 
+/// All four [`Query`] variants through the engine on one dataset and EM
+/// configuration: what a variant query costs relative to plain MaxRS on the
+/// same substrate.  Top-k pays one distribution sweep per round plus a
+/// suppression scan; MinRS is one weight-negated sweep over its domain slab;
+/// ApproxMaxCRS is one sweep plus a candidate-evaluation scan.
+fn bench_engine_variants(c: &mut Criterion) {
+    let config = EmConfig::new(4096, 64 * 4096).unwrap();
+    let ds = Dataset::generate(DatasetKind::Uniform, 20_000, 23);
+    let size = RectSize::square(20_000.0);
+    let domain = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
+    let queries: Vec<(&str, Query)> = vec![
+        ("max_rs", Query::max_rs(size)),
+        ("top_k3", Query::top_k(size, 3)),
+        ("min_rs", Query::min_rs(size, domain)),
+        ("approx_max_crs", Query::approx_max_crs(20_000.0)),
+    ];
+
+    let mut group = c.benchmark_group("engine_variants");
+    group.sample_size(10);
+    for (name, query) in &queries {
+        let engine = MaxRsEngine::with_em_config(config);
+        let ctx = EmContext::new(config);
+        let file = load_objects(&ctx, &ds.objects).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", name), query, |b, q| {
+            b.iter(|| engine.run_file(&ctx, &file, q).unwrap());
+        });
+    }
+    group.finish();
+
+    // Document what each variant did (strategy, workers, I/O, answer shape).
+    for (name, query) in &queries {
+        let run = run_query(config, &ds.objects, query, 1).unwrap();
+        println!(
+            "engine_variants {name}: strategy={} workers={} io={} best_weight={}",
+            run.strategy.name(),
+            run.workers,
+            run.io,
+            run.answer.best_weight()
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_segment_tree,
     bench_plane_sweep,
     bench_external_sort,
-    bench_engine_parallelism
+    bench_engine_parallelism,
+    bench_engine_variants
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 use maxrs_baselines::{asb_tree_sweep, naive_sweep, Algorithm};
 use maxrs_core::{
     exact_max_rs, load_objects, EngineOptions, EngineRun, ExactMaxRsOptions, MaxRsEngine,
-    MaxRsResult,
+    MaxRsResult, Query, QueryRun,
 };
 use maxrs_em::{EmConfig, EmContext, IoSnapshot};
 use maxrs_geometry::{RectSize, WeightedPoint};
@@ -77,6 +77,31 @@ pub fn run_engine(
     engine.solve_file(&ctx, &file, size)
 }
 
+/// Runs any [`Query`] variant through the [`MaxRsEngine`] under a fresh EM
+/// context, measuring only the query phase (dataset loading excluded) — the
+/// variant-polymorphic sibling of [`run_engine`] behind the `engine_variants`
+/// bench rows.
+pub fn run_query(
+    config: EmConfig,
+    objects: &[WeightedPoint],
+    query: &Query,
+    parallelism: usize,
+) -> maxrs_core::Result<QueryRun> {
+    let engine = MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions {
+            parallelism,
+            ..Default::default()
+        },
+        force_strategy: None,
+    });
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, objects)?;
+    // As in `run_engine`, the engine reports I/O as a delta across the query,
+    // which already excludes the load above.
+    engine.run_file(&ctx, &file, query)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +127,35 @@ mod tests {
             exact < asb && asb < naive,
             "expected ExactMaxRS < aSB-tree < Naive, got {exact} / {asb} / {naive}"
         );
+    }
+
+    #[test]
+    fn run_query_answers_every_variant_with_one_substrate() {
+        use maxrs_core::Query;
+        use maxrs_geometry::Rect;
+
+        let ds = Dataset::generate(DatasetKind::Uniform, 1500, 17);
+        let config = EmConfig::new(512, 64 * 512).unwrap();
+        let size = RectSize::square(60_000.0);
+        let domain = Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0);
+
+        let max = run_query(config, &ds.objects, &Query::max_rs(size), 1).unwrap();
+        let top = run_query(config, &ds.objects, &Query::top_k(size, 3), 1).unwrap();
+        let min = run_query(config, &ds.objects, &Query::min_rs(size, domain), 1).unwrap();
+        let crs =
+            run_query(config, &ds.objects, &Query::approx_max_crs(60_000.0), 1).unwrap();
+
+        // 1500 objects exceed the tiny buffer: every variant went external.
+        for run in [&max, &top, &min, &crs] {
+            assert_ne!(run.strategy, maxrs_core::ExecutionStrategy::InMemory);
+            assert!(run.io.total() > 0);
+        }
+        // Shapes and cross-variant consistency.
+        let best = max.answer.as_max_rs().unwrap().total_weight;
+        let placements = top.answer.placements().unwrap();
+        assert_eq!(placements[0].total_weight, best, "top-1 equals MaxRS");
+        assert!(min.answer.as_max_rs().unwrap().total_weight <= best);
+        assert!(crs.answer.as_max_crs().unwrap().total_weight <= best + 1e-9);
     }
 
     #[test]

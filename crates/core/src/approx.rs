@@ -21,8 +21,15 @@ use maxrs_geometry::{Point, RectSize, WeightedPoint};
 
 use crate::error::{CoreError, Result};
 use crate::exact::{exact_max_rs, load_objects, ExactMaxRsOptions};
+use crate::plane_sweep::max_rs_in_memory;
 use crate::records::ObjectRecord;
 use crate::result::MaxCrsResult;
+
+/// Lower bound of the admissible sigma-fraction interval, `(√2 − 1)/2` ≈
+/// 0.2071.  A valid shifting distance satisfies
+/// `SIGMA_FRACTION_LO < σ/d < 1/2` **strictly** (Lemma 5); see
+/// [`candidate_points`] for why both bounds matter.
+pub const SIGMA_FRACTION_LO: f64 = (std::f64::consts::SQRT_2 - 1.0) / 2.0;
 
 /// Tuning knobs of [`approx_max_crs`].
 #[derive(Debug, Clone, Copy)]
@@ -56,10 +63,9 @@ pub fn approx_max_crs(
             "circle diameter must be positive and finite, got {diameter}"
         )));
     }
-    let lo = (std::f64::consts::SQRT_2 - 1.0) / 2.0;
-    if opts.sigma_fraction <= lo || opts.sigma_fraction >= 0.5 {
+    if !(opts.sigma_fraction > SIGMA_FRACTION_LO && opts.sigma_fraction < 0.5) {
         return Err(CoreError::InvalidParameter(format!(
-            "sigma fraction {} outside the admissible interval ({lo:.4}, 0.5)",
+            "sigma fraction {} outside the admissible interval ({SIGMA_FRACTION_LO:.4}, 0.5)",
             opts.sigma_fraction
         )));
     }
@@ -76,17 +82,61 @@ pub fn approx_max_crs(
 
     // 3. One scan of the object file evaluates all candidates.
     let weights = evaluate_candidates(ctx, objects, &candidates, diameter)?;
+    Ok(best_candidate(&candidates, &weights))
+}
+
+/// The in-memory counterpart of [`approx_max_crs`]: the same Algorithm 3 with
+/// the MaxRS step solved by the in-memory plane sweep and the candidate
+/// evaluation done by a direct pass over the slice.
+///
+/// Because the external pipeline reports canonical max-regions (see
+/// [`crate::exact`], "Canonical max-regions"), this returns the identical
+/// answer to [`approx_max_crs`] on the same data — the engine's determinism
+/// tests rely on that.
+///
+/// # Panics
+///
+/// Panics on a non-positive / non-finite `diameter` or a `sigma_fraction`
+/// outside `((√2 − 1)/2, 1/2)` — the same contract as [`candidate_points`].
+/// Use [`MaxRsEngine::run`](crate::engine::MaxRsEngine::run) for checked
+/// errors instead of panics.
+pub fn approx_max_crs_in_memory(
+    objects: &[WeightedPoint],
+    diameter: f64,
+    sigma_fraction: f64,
+) -> MaxCrsResult {
+    if objects.is_empty() {
+        // Validate even on the trivial input so misuse surfaces early.
+        let _ = candidate_points(Point::ORIGIN, diameter, sigma_fraction);
+        return MaxCrsResult::empty();
+    }
+    let p0 = max_rs_in_memory(objects, RectSize::square(diameter)).center;
+    let candidates = candidate_points(p0, diameter, sigma_fraction);
+    // Same evaluation (open disks, input order) as the external file scan.
+    let r_sq = (diameter / 2.0) * (diameter / 2.0);
+    let mut weights = [0.0f64; 5];
+    for o in objects {
+        for (i, c) in candidates.iter().enumerate() {
+            if o.point.distance_sq(c) < r_sq {
+                weights[i] += o.weight;
+            }
+        }
+    }
+    best_candidate(&candidates, &weights)
+}
+
+/// Picks the best-scoring candidate (last on ties, matching `max_by`).
+fn best_candidate(candidates: &[Point], weights: &[f64]) -> MaxCrsResult {
     let (best_idx, best_weight) = weights
         .iter()
         .copied()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .expect("five candidates");
-
-    Ok(MaxCrsResult {
+    MaxCrsResult {
         center: candidates[best_idx],
         total_weight: best_weight,
-    })
+    }
 }
 
 /// Convenience wrapper over a slice of objects.
@@ -103,8 +153,37 @@ pub fn approx_max_crs_from_objects(
 }
 
 /// The five candidate points of Algorithm 3: the max-region centroid `p0` and
-/// the four points shifted by `σ` along the diagonal directions (Figure 9).
+/// the four points shifted by `σ = sigma_fraction · diameter` along the
+/// diagonal directions (Figure 9).
+///
+/// # The sigma-fraction contract
+///
+/// `sigma_fraction` must lie **strictly** inside `((√2 − 1)/2, 1/2)` ≈
+/// `(0.2071, 0.5)`.  Lemma 5 needs both bounds: at or below the lower bound
+/// the four shifted circles no longer cover the corners of the MBR of the
+/// circle at `p0`; at or above the upper bound they no longer cover its
+/// center region.  Either way the `1/4`-approximation guarantee (Theorem 4)
+/// is lost, so values outside the open interval are rejected rather than
+/// silently degrading the bound.
+///
+/// # Panics
+///
+/// Panics when `diameter` is non-positive, infinite or NaN, or when
+/// `sigma_fraction` lies outside the open interval above (NaN included).
+/// Callers that prefer checked errors should go through
+/// [`approx_max_crs`] / [`MaxRsEngine::run`](crate::engine::MaxRsEngine::run),
+/// which validate the same conditions up front and return
+/// [`CoreError::InvalidParameter`](crate::error::CoreError) instead.
 pub fn candidate_points(p0: Point, diameter: f64, sigma_fraction: f64) -> [Point; 5] {
+    assert!(
+        diameter > 0.0 && diameter.is_finite(),
+        "circle diameter must be positive and finite, got {diameter}"
+    );
+    assert!(
+        sigma_fraction > SIGMA_FRACTION_LO && sigma_fraction < 0.5,
+        "sigma fraction {sigma_fraction} outside the admissible interval \
+         ({SIGMA_FRACTION_LO:.4}, 0.5)"
+    );
     let sigma = sigma_fraction * diameter;
     let step = sigma / std::f64::consts::SQRT_2;
     [
@@ -178,6 +257,52 @@ mod tests {
             ..Default::default()
         };
         assert!(approx_max_crs(&ctx, &file, 2.0, &bad_sigma_low).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "circle diameter must be positive")]
+    fn candidate_points_panics_on_non_positive_diameter() {
+        let _ = candidate_points(Point::new(0.0, 0.0), 0.0, 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "circle diameter must be positive")]
+    fn candidate_points_panics_on_nan_diameter() {
+        let _ = candidate_points(Point::new(0.0, 0.0), f64::NAN, 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the admissible interval")]
+    fn candidate_points_panics_on_sigma_fraction_below_the_interval() {
+        // (sqrt(2)-1)/2 is excluded: Lemma 5 needs the *open* interval.
+        let _ = candidate_points(Point::new(0.0, 0.0), 2.0, (std::f64::consts::SQRT_2 - 1.0) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the admissible interval")]
+    fn candidate_points_panics_on_sigma_fraction_at_one_half() {
+        let _ = candidate_points(Point::new(0.0, 0.0), 2.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the admissible interval")]
+    fn candidate_points_panics_on_nan_sigma_fraction() {
+        let _ = candidate_points(Point::new(0.0, 0.0), 2.0, f64::NAN);
+    }
+
+    #[test]
+    fn in_memory_approx_matches_external_pipeline() {
+        let ctx = ctx();
+        for seed in [5u64, 29] {
+            let objects = pseudo_random_objects(200, seed, 150.0);
+            for diameter in [10.0, 25.0] {
+                let external =
+                    approx_max_crs_from_objects(&ctx, &objects, diameter, &Default::default())
+                        .unwrap();
+                let internal = approx_max_crs_in_memory(&objects, diameter, 0.35);
+                assert_eq!(external, internal, "seed={seed} d={diameter}");
+            }
+        }
     }
 
     #[test]

@@ -12,18 +12,32 @@
 //!   stage.
 //!
 //! Callers that do not want to reason about `N`, `M` and core counts construct
-//! an engine and call [`MaxRsEngine::solve`]; callers that do can inspect the
+//! an engine and call [`MaxRsEngine::run`] (any [`Query`] variant) or
+//! [`MaxRsEngine::solve`] (plain MaxRS); callers that do can inspect the
 //! decision via [`MaxRsEngine::select_strategy`] or force one via
 //! [`EngineOptions`].
+//!
+//! The same strategy ladder serves every query variant — top-k, MinRS and
+//! ApproxMaxCRS all reduce to (rounds of) the rectangle distribution sweep,
+//! so a variant query on a billion-object file runs the identical slab
+//! pipeline and parallel MergeSweep as plain MaxRS.  Because the external
+//! pipeline reports canonical max-regions (see [`crate::exact`]), every
+//! strategy returns the *identical* answer, not merely one of equal weight.
 
 use maxrs_em::{EmConfig, EmContext, IoSnapshot, TupleFile};
-use maxrs_geometry::{RectSize, WeightedPoint};
+use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
+use crate::approx::{approx_max_crs, approx_max_crs_in_memory, ApproxMaxCrsOptions};
 use crate::error::Result;
-use crate::exact::{exact_max_rs, load_objects, ExactMaxRsOptions};
+use crate::exact::{
+    distribution_sweep, exact_max_rs, load_objects, next_breakpoint_after,
+    transform_to_scaled_rect_file, ExactMaxRsOptions,
+};
+use crate::extensions::{max_k_rs_in_memory, min_rs_in_memory, min_strip_scan};
 use crate::plane_sweep::max_rs_in_memory;
+use crate::query::{Query, QueryAnswer, QueryRun};
 use crate::records::{ObjectRecord, RectRecord};
-use crate::result::MaxRsResult;
+use crate::result::{MaxCrsResult, MaxRsResult};
 
 /// How a MaxRS query was (or would be) executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -201,16 +215,60 @@ impl MaxRsEngine {
         }
     }
 
-    /// Solves a MaxRS query over an in-memory object slice.
+    /// Answers any [`Query`] variant over an in-memory object slice,
+    /// auto-selecting the execution strategy exactly like
+    /// [`solve`](MaxRsEngine::solve).
     ///
     /// External strategies run against a fresh [`EmContext`] with the engine's
-    /// configuration; the reported I/O covers the solve only (loading the
+    /// configuration; the reported I/O covers the query only (loading the
     /// objects into the context is excluded, as in the paper's measurements).
-    pub fn solve(&self, objects: &[WeightedPoint], size: RectSize) -> Result<EngineRun> {
+    /// All strategies return the identical answer on the same data (canonical
+    /// max-regions, see [`crate::exact`]); for arbitrary float weights the
+    /// parallel strategy carries the usual tree-association caveat of
+    /// [`merge_sweep_tree`](crate::merge_sweep::merge_sweep_tree).
+    ///
+    /// # Query cookbook
+    ///
+    /// ```
+    /// use maxrs_core::{MaxRsEngine, Query};
+    /// use maxrs_geometry::{Rect, RectSize, WeightedPoint};
+    ///
+    /// // Six cafés: a pair, a triple and a loner.
+    /// let cafes = vec![
+    ///     WeightedPoint::unit(1.0, 1.0),
+    ///     WeightedPoint::unit(1.4, 1.2),
+    ///     WeightedPoint::unit(6.0, 6.0),
+    ///     WeightedPoint::unit(6.3, 6.2),
+    ///     WeightedPoint::unit(6.1, 6.4),
+    ///     WeightedPoint::unit(20.0, 20.0),
+    /// ];
+    /// let engine = MaxRsEngine::new();
+    ///
+    /// // MaxRS: the best single 2 × 2 placement covers the triple.
+    /// let run = engine.run(&cafes, &Query::max_rs(RectSize::square(2.0))).unwrap();
+    /// assert_eq!(run.answer.best_weight(), 3.0);
+    ///
+    /// // Top-k: the three best non-overlapping placements, best first.
+    /// let run = engine.run(&cafes, &Query::top_k(RectSize::square(2.0), 3)).unwrap();
+    /// let weights: Vec<f64> = run.answer.placements().unwrap()
+    ///     .iter().map(|r| r.total_weight).collect();
+    /// assert_eq!(weights, vec![3.0, 2.0, 1.0]);
+    ///
+    /// // MinRS: the quietest admissible center inside the downtown square.
+    /// let downtown = Rect::new(0.0, 10.0, 0.0, 10.0);
+    /// let run = engine.run(&cafes, &Query::min_rs(RectSize::square(2.0), downtown)).unwrap();
+    /// assert_eq!(run.answer.best_weight(), 0.0);
+    ///
+    /// // ApproxMaxCRS: a circular service area of diameter 2.
+    /// let run = engine.run(&cafes, &Query::approx_max_crs(2.0)).unwrap();
+    /// assert_eq!(run.answer.as_max_crs().unwrap().total_weight, 3.0);
+    /// ```
+    pub fn run(&self, objects: &[WeightedPoint], query: &Query) -> Result<QueryRun> {
+        query.validate()?;
         let (strategy, workers) = self.select_strategy(objects.len() as u64);
         if strategy == ExecutionStrategy::InMemory {
-            return Ok(EngineRun {
-                result: max_rs_in_memory(objects, size),
+            return Ok(QueryRun {
+                answer: answer_in_memory(objects, query),
                 strategy,
                 workers: 1,
                 io: IoSnapshot::default(),
@@ -218,14 +276,57 @@ impl MaxRsEngine {
         }
         let ctx = EmContext::new(self.opts.em_config);
         let file = load_objects(&ctx, objects)?;
-        // No reset needed: solve_external reports the I/O as a delta, which
+        // No reset needed: run_external reports the I/O as a delta, which
         // already excludes the load above.
-        let run = self.solve_external(&ctx, &file, size, strategy, workers)?;
+        let run = self.run_external(&ctx, &file, query, strategy, workers);
         ctx.delete_file(file)?;
-        Ok(run)
+        run
     }
 
-    /// Solves a MaxRS query over an object file already stored in `ctx`.
+    /// Answers any [`Query`] variant over an object file already stored in
+    /// `ctx`.
+    ///
+    /// Unlike [`run`](MaxRsEngine::run), the in-memory strategy here still
+    /// reads the file (and counts that scan's I/O); the reported I/O is the
+    /// delta of `ctx`'s counters across the call.
+    pub fn run_file(
+        &self,
+        ctx: &EmContext,
+        objects: &TupleFile<ObjectRecord>,
+        query: &Query,
+    ) -> Result<QueryRun> {
+        query.validate()?;
+        // The file lives in `ctx`, so the in-memory cutoff and worker cap
+        // must come from *its* configuration — the engine's own em_config
+        // only describes contexts the engine creates itself.
+        let (strategy, workers) = self.select_for(objects.len(), ctx.config());
+        if strategy == ExecutionStrategy::InMemory {
+            let before = ctx.stats();
+            let records = ctx.read_all(objects)?;
+            let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
+            return Ok(QueryRun {
+                answer: answer_in_memory(&points, query),
+                strategy,
+                workers: 1,
+                io: ctx.stats().since(&before),
+            });
+        }
+        self.run_external(ctx, objects, query, strategy, workers)
+    }
+
+    /// Solves a MaxRS query over an in-memory object slice: shorthand for
+    /// [`run`](MaxRsEngine::run) with [`Query::MaxRs`].
+    ///
+    /// External strategies run against a fresh [`EmContext`] with the engine's
+    /// configuration; the reported I/O covers the solve only (loading the
+    /// objects into the context is excluded, as in the paper's measurements).
+    pub fn solve(&self, objects: &[WeightedPoint], size: RectSize) -> Result<EngineRun> {
+        self.run(objects, &Query::MaxRs { size }).map(engine_run_of)
+    }
+
+    /// Solves a MaxRS query over an object file already stored in `ctx`:
+    /// shorthand for [`run_file`](MaxRsEngine::run_file) with
+    /// [`Query::MaxRs`].
     ///
     /// Unlike [`solve`](MaxRsEngine::solve), the in-memory strategy here still
     /// reads the file (and counts that scan's I/O); the reported I/O is the
@@ -236,32 +337,20 @@ impl MaxRsEngine {
         objects: &TupleFile<ObjectRecord>,
         size: RectSize,
     ) -> Result<EngineRun> {
-        // The file lives in `ctx`, so the in-memory cutoff and worker cap
-        // must come from *its* configuration — the engine's own em_config
-        // only describes contexts the engine creates itself.
-        let (strategy, workers) = self.select_for(objects.len(), ctx.config());
-        if strategy == ExecutionStrategy::InMemory {
-            let before = ctx.stats();
-            let records = ctx.read_all(objects)?;
-            let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
-            return Ok(EngineRun {
-                result: max_rs_in_memory(&points, size),
-                strategy,
-                workers: 1,
-                io: ctx.stats().since(&before),
-            });
-        }
-        self.solve_external(ctx, objects, size, strategy, workers)
+        self.run_file(ctx, objects, &Query::MaxRs { size })
+            .map(engine_run_of)
     }
 
-    fn solve_external(
+    /// Runs a query externally: one distribution-sweep pass for MaxRS /
+    /// MinRS / ApproxMaxCRS, suppression rounds for top-k.
+    fn run_external(
         &self,
         ctx: &EmContext,
         objects: &TupleFile<ObjectRecord>,
-        size: RectSize,
+        query: &Query,
         strategy: ExecutionStrategy,
         workers: usize,
-    ) -> Result<EngineRun> {
+    ) -> Result<QueryRun> {
         let exact_opts = ExactMaxRsOptions {
             parallelism: if strategy == ExecutionStrategy::ExternalParallel {
                 workers
@@ -281,14 +370,228 @@ impl MaxRsEngine {
             ExecutionStrategy::ExternalSequential
         };
         let before = ctx.stats();
-        let result = exact_max_rs(ctx, objects, size, &exact_opts)?;
-        Ok(EngineRun {
-            result,
+        let answer = match *query {
+            Query::MaxRs { size } => {
+                QueryAnswer::MaxRs(exact_max_rs(ctx, objects, size, &exact_opts)?)
+            }
+            Query::TopK { size, k } => {
+                QueryAnswer::TopK(top_k_external(ctx, objects, size, k, &exact_opts)?)
+            }
+            Query::MinRs { size, domain } => {
+                QueryAnswer::MinRs(min_rs_external(ctx, objects, size, domain, &exact_opts)?)
+            }
+            Query::ApproxMaxCrs { diameter, .. } => {
+                let sigma = query.sigma_fraction().expect("approx variant has a sigma");
+                QueryAnswer::MaxCrs(approx_external(ctx, objects, diameter, sigma, &exact_opts)?)
+            }
+        };
+        Ok(QueryRun {
+            answer,
             strategy: actual_strategy,
             workers: actual_workers,
             io: ctx.stats().since(&before),
         })
     }
+}
+
+/// Converts a MaxRS-variant [`QueryRun`] into the narrower [`EngineRun`].
+fn engine_run_of(run: QueryRun) -> EngineRun {
+    match run.answer {
+        QueryAnswer::MaxRs(result) => EngineRun {
+            result,
+            strategy: run.strategy,
+            workers: run.workers,
+            io: run.io,
+        },
+        _ => unreachable!("solve paths only issue MaxRs queries"),
+    }
+}
+
+/// Answers a (validated) query with the in-memory reference algorithms.
+fn answer_in_memory(objects: &[WeightedPoint], query: &Query) -> QueryAnswer {
+    match *query {
+        Query::MaxRs { size } => QueryAnswer::MaxRs(max_rs_in_memory(objects, size)),
+        Query::TopK { size, k } => QueryAnswer::TopK(max_k_rs_in_memory(objects, size, k)),
+        Query::MinRs { size, domain } => {
+            QueryAnswer::MinRs(min_rs_in_memory(objects, size, domain))
+        }
+        Query::ApproxMaxCrs { diameter, .. } => QueryAnswer::MaxCrs(approx_max_crs_in_memory(
+            objects,
+            diameter,
+            query.sigma_fraction().expect("approx variant has a sigma"),
+        )),
+    }
+}
+
+/// External top-k (MaxkRS): greedy suppression rounds over the EM pipeline.
+///
+/// Each round solves MaxRS on the remaining objects, then one transform-aware
+/// scan ([`EmContext::filter_map_file`]) suppresses the objects covered by the
+/// chosen placement — the external analogue of
+/// [`max_k_rs_in_memory`]'s `retain`, and the same answers: round `r` sees
+/// exactly the objects the in-memory greedy sees, because canonical
+/// max-regions make every round's center strategy-independent.
+fn top_k_external(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    k: usize,
+    opts: &ExactMaxRsOptions,
+) -> Result<Vec<MaxRsResult>> {
+    // At most one placement per object exists, so a huge k must not
+    // pre-allocate k slots (mirrors `max_k_rs_in_memory`).
+    let mut results = Vec::with_capacity(k.min(objects.len() as usize));
+    let mut current: Option<TupleFile<ObjectRecord>> = None;
+    let mut rounds = || -> Result<()> {
+        for _ in 0..k {
+            let remaining = current.as_ref().unwrap_or(objects);
+            if remaining.is_empty() {
+                break;
+            }
+            let best = exact_max_rs(ctx, remaining, size, opts)?;
+            if best.total_weight <= 0.0 {
+                break;
+            }
+            let chosen = Rect::centered_at(best.center, size);
+            let next = ctx.filter_map_file(remaining, |rec: ObjectRecord| {
+                if chosen.contains_open(&rec.0.point) {
+                    None
+                } else {
+                    Some(rec)
+                }
+            })?;
+            if let Some(f) = current.take() {
+                ctx.delete_file(f)?;
+            }
+            current = Some(next);
+            results.push(best);
+        }
+        Ok(())
+    };
+    let outcome = rounds();
+    // The last suppression file is a temporary either way.
+    if let Some(f) = current.take() {
+        let _ = ctx.delete_file(f);
+    }
+    outcome.map(|()| results)
+}
+
+/// External MinRS: a weight-negated distribution sweep over the domain's
+/// x-slab, followed by the same domain-clipped strip scan as
+/// [`min_rs_in_memory`] — streamed over the final slab-file instead of an
+/// in-memory tuple list.
+fn min_rs_external(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    domain: Rect,
+    opts: &ExactMaxRsOptions,
+) -> Result<MaxRsResult> {
+    if objects.is_empty() {
+        return Ok(MaxRsResult {
+            center: domain.center(),
+            total_weight: 0.0,
+            region: domain,
+        });
+    }
+    if domain.x_lo == domain.x_hi || domain.y_lo == domain.y_hi {
+        // A degenerate domain — a point or a segment of admissible centers —
+        // has no positive-area arrangement cell for the distribution sweep to
+        // report.  Delegate to the in-memory reference after one scan: its
+        // 1D segment sweep needs the stabbed intervals, whose count the EM
+        // model does not bound by M.  Acceptable for this corner case, and
+        // exact parity with `min_rs_in_memory` by construction.
+        let records = ctx.read_all(objects)?;
+        let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
+        return Ok(min_rs_in_memory(&points, size, domain));
+    }
+    let slab = Interval::new(domain.x_lo, domain.x_hi);
+    let rects = transform_to_scaled_rect_file(ctx, objects, size, -1.0)?;
+    let slab_file = distribution_sweep(ctx, rects, slab, opts)?;
+
+    // The same strip scan as `min_rs_in_memory` — one shared implementation
+    // (see `extensions::min_strip_scan`), here streamed over the final
+    // slab-file instead of an in-memory tuple list.
+    let scan = {
+        let mut reader = ctx.open_reader(&slab_file);
+        let tuples = std::iter::from_fn(|| match reader.next_record() {
+            Ok(Some(t)) => Some(Ok(t)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e.into())),
+        });
+        min_strip_scan(tuples, slab, domain)
+    };
+    // Delete the slab file before propagating a scan error so a failed query
+    // leaves no orphans on a long-lived context.
+    ctx.delete_file(slab_file)?;
+    let best = scan?;
+
+    match best {
+        None => {
+            // Unreachable for a non-degenerate domain (the strips partition
+            // the plane, so one of them clips to positive height), but kept
+            // as a defensive mirror of the in-memory fallback: evaluate the
+            // domain center directly with one scan of the object file.
+            let center = domain.center();
+            let query_rect = Rect::centered_at(center, size);
+            let mut total = 0.0;
+            let mut reader = ctx.open_reader(objects);
+            while let Some(rec) = reader.next_record()? {
+                if query_rect.contains_open(&rec.0.point) {
+                    total += rec.0.weight;
+                }
+            }
+            Ok(MaxRsResult {
+                center,
+                total_weight: total,
+                region: domain,
+            })
+        }
+        Some((negated_sum, x, y, from_tuple)) => {
+            let x = if from_tuple {
+                // Widen the refined cell back to the full arrangement cell of
+                // the domain slab (see `crate::exact`, canonical max-regions).
+                let hi = next_breakpoint_after(ctx, objects, size, slab, x.lo)?;
+                Interval::new(x.lo, hi.max(x.hi))
+            } else {
+                x
+            };
+            let center = Point::new(
+                x.representative().clamp(domain.x_lo, domain.x_hi),
+                y.representative().clamp(domain.y_lo, domain.y_hi),
+            );
+            Ok(MaxRsResult {
+                center,
+                // `0.0 - x` rather than `-x`: an uncovered minimum is +0.0,
+                // not the confusing "-0" a plain negation would display
+                // (mirrors `min_rs_in_memory`).
+                total_weight: 0.0 - negated_sum,
+                region: Rect::new(x.lo, x.hi, y.lo, y.hi),
+            })
+        }
+    }
+}
+
+/// External ApproxMaxCRS (Algorithm 3) with an engine-supplied σ: exactly
+/// [`approx_max_crs`] — the MBR transform *is* the MaxRS transform with a
+/// `d × d` square, so the full EM slab pipeline (and its parallel stage) is
+/// reused verbatim, followed by the 5-candidate refinement in one scan.
+fn approx_external(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    diameter: f64,
+    sigma_fraction: f64,
+    opts: &ExactMaxRsOptions,
+) -> Result<MaxCrsResult> {
+    approx_max_crs(
+        ctx,
+        objects,
+        diameter,
+        &ApproxMaxCrsOptions {
+            sigma_fraction,
+            exact: *opts,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -421,5 +724,51 @@ mod tests {
         let run = engine.solve(&[], RectSize::square(10.0)).unwrap();
         assert_eq!(run.result.total_weight, 0.0);
         assert_eq!(run.strategy, ExecutionStrategy::InMemory);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_not_panicked() {
+        let engine = MaxRsEngine::new();
+        let objects = pseudo_random_objects(10, 3, 100.0);
+        for query in [
+            Query::MaxRs {
+                size: RectSize { width: -1.0, height: 2.0 },
+            },
+            Query::ApproxMaxCrs { diameter: 0.0, epsilon: 0.5 },
+            Query::ApproxMaxCrs { diameter: 5.0, epsilon: 1.0 },
+            // Inverted domain: must come back as an error, not a clamp panic.
+            Query::MinRs {
+                size: RectSize::square(1.0),
+                domain: Rect { x_lo: 5.0, x_hi: 1.0, y_lo: 0.0, y_hi: 1.0 },
+            },
+        ] {
+            assert!(engine.run(&objects, &query).is_err(), "{query:?}");
+        }
+    }
+
+    #[test]
+    fn external_min_rs_matches_in_memory_on_degenerate_domains() {
+        use crate::extensions::min_rs_in_memory;
+        let objects = pseudo_random_objects(400, 9, 100.0);
+        let size = RectSize::square(10.0);
+        let engine = MaxRsEngine::with_options(EngineOptions {
+            em_config: EmConfig::new(512, 16 * 512).unwrap(),
+            exact: ExactMaxRsOptions {
+                memory_rects: Some(64),
+                ..Default::default()
+            },
+            force_strategy: Some(ExecutionStrategy::ExternalSequential),
+        });
+        for domain in [
+            Rect::new(50.0, 50.0, 50.0, 50.0),  // point
+            Rect::new(50.0, 50.0, 0.0, 100.0),  // vertical segment
+            Rect::new(0.0, 100.0, 50.0, 50.0),  // horizontal segment
+        ] {
+            let run = engine
+                .run(&objects, &Query::min_rs(size, domain))
+                .unwrap();
+            let want = min_rs_in_memory(&objects, size, domain);
+            assert_eq!(run.answer.as_max_rs().unwrap(), &want, "{domain:?}");
+        }
     }
 }

@@ -14,6 +14,21 @@
 //! 4. **Extract** the best tuple of the final slab-file: its max-interval and
 //!    the strip up to the next tuple form the reported max-region; the
 //!    centroid of that region is an optimal location.
+//!
+//! # Canonical max-regions
+//!
+//! The distribution sweep reports the same *maximum weight* as the in-memory
+//! plane sweep, but its slab boundaries subdivide the x-axis more finely than
+//! the rectangle-edge arrangement alone, so the winning tuple's x-interval can
+//! be a strict sub-interval of the arrangement cell the in-memory sweep would
+//! report.  [`exact_max_rs`] therefore *widens* the winning interval back to
+//! the full arrangement cell with one extra `O(N/B)` scan of the object file
+//! (see [`next_breakpoint_after`]): both sweeps break ties leftmost-first and
+//! agree on the winning event `y`, so after widening the external result —
+//! center, weight **and** max-region — is bit-for-bit identical to
+//! [`max_rs_in_memory`](crate::plane_sweep::max_rs_in_memory()).  The unified
+//! query layer ([`crate::engine::MaxRsEngine::run`]) relies on this to give
+//! every `Query` variant strategy-independent answers.
 
 use maxrs_em::{external_sort_by_key, EmConfig, EmContext, TupleFile};
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
@@ -131,22 +146,100 @@ pub fn exact_max_rs(
     // 1. Transform objects into centered rectangles.
     let rects = transform_to_rect_file(ctx, objects, size)?;
 
-    // 2. Sort by center x (the preprocessing step of the paper).
+    // 2 + 3. Sort by center x, then run the distribution-sweep recursion.
+    let final_slab = distribution_sweep(ctx, rects, Interval::UNBOUNDED, opts)?;
+
+    // 4. Extract the best region from the final slab-file and widen it to the
+    // full arrangement cell (see the module docs on canonical max-regions).
+    let result = extract_best(ctx, &final_slab)?;
+    ctx.delete_file(final_slab)?;
+    widen_to_arrangement_cell(ctx, objects, size, Interval::UNBOUNDED, result)
+}
+
+/// Sorts an already-transformed rectangle file by center x and runs the
+/// distribution-sweep recursion over it, returning the final slab-file of
+/// `root` (the y-sorted `⟨y, max-interval, sum⟩` tuples of the whole slab).
+///
+/// This is the reusable middle of the ExactMaxRS pipeline: [`exact_max_rs`]
+/// calls it with the identity transform and an unbounded root slab, the MinRS
+/// path of [`crate::engine::MaxRsEngine::run`] with weight-negated rectangles
+/// and the query domain's x-interval as `root`.  The input file is consumed;
+/// rectangle weights may be negative (only [`WeightedPoint`] insists on
+/// non-negativity).  `opts.parallelism` selects between the paper's flat
+/// sequential sweep and the parallel slab stage exactly as in
+/// [`exact_max_rs`].
+pub fn distribution_sweep(
+    ctx: &EmContext,
+    rects: TupleFile<RectRecord>,
+    root: Interval,
+    opts: &ExactMaxRsOptions,
+) -> Result<TupleFile<SlabTuple>> {
     let sorted = external_sort_by_key(ctx, &rects, |r| r.center_x())?;
     ctx.delete_file(rects)?;
-
-    // 3. Distribution-sweep recursion.
     let runner = Runner {
         ctx,
         opts: *opts,
         workers: opts.effective_parallelism(ctx.config()),
     };
-    let final_slab = runner.solve(sorted, Interval::UNBOUNDED, true)?;
+    runner.solve(sorted, root, true)
+}
 
-    // 4. Extract the best region from the final slab-file.
-    let result = extract_best(ctx, &final_slab)?;
-    ctx.delete_file(final_slab)?;
-    Ok(result)
+/// The smallest x-arrangement breakpoint strictly greater than `x`: the edge
+/// of a transformed rectangle (clipped to `slab`) or the slab's upper bound,
+/// whichever comes first; `+∞` when nothing lies beyond `x`.
+///
+/// These breakpoints are exactly the leaf boundaries of the in-memory plane
+/// sweep over `slab` (see [`plane_sweep_slab`]), computed here with one
+/// sequential `O(N/B)` scan of the object file instead of materializing the
+/// arrangement.  Used to widen distribution-sweep max-intervals back to full
+/// arrangement cells.
+pub fn next_breakpoint_after(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    slab: Interval,
+    x: f64,
+) -> Result<f64> {
+    let mut best = f64::INFINITY;
+    if slab.hi > x {
+        best = slab.hi;
+    }
+    let mut reader = ctx.open_reader(objects);
+    while let Some(rec) = reader.next_record()? {
+        if let Some(clipped) = rec.0.to_rect(size).clip_x(&slab) {
+            for edge in [clipped.x_lo, clipped.x_hi] {
+                if edge > x && edge < best {
+                    best = edge;
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Widens a distribution-sweep result's max-interval to the full arrangement
+/// cell so it matches the in-memory sweep's report (module docs, "Canonical
+/// max-regions").  The winning `y`-strip and weight are already canonical;
+/// only the interval's upper bound (and with it the representative center)
+/// can sit on a slab boundary instead of a rectangle edge.
+fn widen_to_arrangement_cell(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    slab: Interval,
+    result: MaxRsResult,
+) -> Result<MaxRsResult> {
+    if !result.region.x_lo.is_finite() && !result.region.x_hi.is_finite() {
+        // The empty-dataset sentinel; nothing to widen.
+        return Ok(result);
+    }
+    let x_hi = next_breakpoint_after(ctx, objects, size, slab, result.region.x_lo)?;
+    let x = Interval::new(result.region.x_lo, x_hi.max(result.region.x_hi));
+    Ok(MaxRsResult {
+        center: Point::new(x.representative(), result.center.y),
+        total_weight: result.total_weight,
+        region: Rect::new(x.lo, x.hi, result.region.y_lo, result.region.y_hi),
+    })
 }
 
 /// Convenience wrapper: loads the objects into the context and runs
@@ -176,18 +269,31 @@ pub fn load_objects(
 }
 
 /// Streams the object file into a rectangle file (the transformed problem).
+///
+/// One transform-aware scan ([`EmContext::filter_map_file`]): `O(N/B)` I/Os,
+/// no intermediate staging.
 pub fn transform_to_rect_file(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
     size: RectSize,
 ) -> Result<TupleFile<RectRecord>> {
-    let mut reader = ctx.open_reader(objects);
-    let mut writer = ctx.create_writer::<RectRecord>()?;
-    while let Some(rec) = reader.next_record()? {
-        let rect = rec.0.to_rect(size);
-        writer.push(&RectRecord::new(rect, rec.0.weight))?;
-    }
-    writer.finish().map_err(CoreError::from)
+    transform_to_scaled_rect_file(ctx, objects, size, 1.0)
+}
+
+/// [`transform_to_rect_file`] with every weight multiplied by `weight_scale`
+/// during the scan.  `weight_scale = -1.0` is the MinRS reduction: the
+/// maximum of the negated instance is the negated minimum of the original
+/// one, so the unmodified MaxRS pipeline answers MinRS queries.
+pub fn transform_to_scaled_rect_file(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    weight_scale: f64,
+) -> Result<TupleFile<RectRecord>> {
+    ctx.map_file(objects, |rec: ObjectRecord| {
+        RectRecord::new(rec.0.to_rect(size), weight_scale * rec.0.weight)
+    })
+    .map_err(CoreError::from)
 }
 
 struct Runner<'a> {

@@ -94,20 +94,26 @@ pub mod grid;
 pub mod merge_sweep;
 pub mod parallel;
 pub mod plane_sweep;
+pub mod query;
 pub mod records;
 pub mod reference;
 mod result;
 pub mod segment_tree;
 pub mod slab;
 
-pub use approx::{approx_max_crs, approx_max_crs_from_objects, candidate_points, ApproxMaxCrsOptions};
+pub use approx::{
+    approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, candidate_points,
+    ApproxMaxCrsOptions, SIGMA_FRACTION_LO,
+};
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, Result};
 pub use exact::{
-    exact_max_rs, exact_max_rs_from_objects, load_objects, transform_to_rect_file,
+    distribution_sweep, exact_max_rs, exact_max_rs_from_objects, load_objects,
+    next_breakpoint_after, transform_to_rect_file, transform_to_scaled_rect_file,
     ExactMaxRsOptions,
 };
+pub use query::{Query, QueryAnswer, QueryRun};
 pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
 pub use grid::UniformGrid;
 pub use merge_sweep::{merge_sweep, merge_sweep_tree};

@@ -120,6 +120,39 @@ impl EmContext {
         Ok(out)
     }
 
+    /// Streams `input` through `f`, writing every produced record to a fresh
+    /// file in input order — the transform-aware scan of the MaxRS pipeline
+    /// (object→rectangle at dataset-scan time, weight negation for MinRS,
+    /// suppression filters for top-k rounds).
+    ///
+    /// One sequential pass: `O(N/B)` block reads plus `O(N'/B)` writes, with
+    /// only one input and one output block buffered at a time.  Records for
+    /// which `f` returns `None` are dropped.
+    pub fn filter_map_file<A: Record, B: Record>(
+        &self,
+        input: &TupleFile<A>,
+        mut f: impl FnMut(A) -> Option<B>,
+    ) -> Result<TupleFile<B>> {
+        let mut reader = self.open_reader(input);
+        let mut writer = self.create_writer::<B>()?;
+        while let Some(rec) = reader.next_record()? {
+            if let Some(out) = f(rec) {
+                writer.push(&out)?;
+            }
+        }
+        writer.finish()
+    }
+
+    /// [`filter_map_file`](EmContext::filter_map_file) without the filtering:
+    /// a 1:1 streaming record transform.
+    pub fn map_file<A: Record, B: Record>(
+        &self,
+        input: &TupleFile<A>,
+        mut f: impl FnMut(A) -> B,
+    ) -> Result<TupleFile<B>> {
+        self.filter_map_file(input, |rec| Some(f(rec)))
+    }
+
     /// Deletes a record file, discarding any of its blocks still in the pool.
     pub fn delete_file<T: Record>(&self, file: TupleFile<T>) -> Result<()> {
         self.pool.lock().drop_file(file.id);

@@ -6,10 +6,9 @@
 //! cargo run --release --example store_expansion
 //! ```
 
-use maxrs::core::{max_k_rs_in_memory, min_rs_in_memory};
 use maxrs::datagen::{Dataset, DatasetKind};
 use maxrs::geometry::Rect;
-use maxrs::{max_rs_in_memory, RectSize};
+use maxrs::{MaxRsEngine, Query, RectSize};
 
 fn main() {
     // Customer locations in a metropolitan area.
@@ -17,15 +16,24 @@ fn main() {
     let delivery = RectSize::new(25_000.0, 25_000.0); // 25 km x 25 km service area
     println!("{} customers, service area {} x {} m", customers.len(), delivery.width, delivery.height);
 
+    // One engine answers every variant below; it auto-selects the execution
+    // strategy (in-memory vs. external, sequential vs. parallel) per query.
+    let engine = MaxRsEngine::new();
+
     // --- One store: plain MaxRS ------------------------------------------------
-    let single = max_rs_in_memory(&customers.objects, delivery);
+    let run = engine.run(&customers.objects, &Query::max_rs(delivery)).unwrap();
+    let single = *run.answer.as_max_rs().expect("rectangle answer");
     println!(
-        "\n1 store : place at ({:.0}, {:.0}) -> {} customers served",
-        single.center.x, single.center.y, single.total_weight
+        "\n1 store : place at ({:.0}, {:.0}) -> {} customers served [{}]",
+        single.center.x,
+        single.center.y,
+        single.total_weight,
+        run.strategy.name()
     );
 
     // --- A chain of four stores: greedy MaxkRS ---------------------------------
-    let chain = max_k_rs_in_memory(&customers.objects, delivery, 4);
+    let run = engine.run(&customers.objects, &Query::top_k(delivery, 4)).unwrap();
+    let chain = run.answer.placements().expect("placement list").to_vec();
     println!("\n4 stores (greedy MaxkRS, non-overlapping service areas):");
     let mut covered = 0.0;
     for (i, store) in chain.iter().enumerate() {
@@ -47,7 +55,10 @@ fn main() {
 
     // --- Where is the most under-served spot downtown? MinRS -------------------
     let downtown = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
-    let quietest = min_rs_in_memory(&customers.objects, delivery, downtown);
+    let run = engine
+        .run(&customers.objects, &Query::min_rs(delivery, downtown))
+        .unwrap();
+    let quietest = *run.answer.as_max_rs().expect("rectangle answer");
     println!(
         "\nLeast-served location inside downtown: ({:.0}, {:.0}) with only {} customers in range",
         quietest.center.x, quietest.center.y, quietest.total_weight

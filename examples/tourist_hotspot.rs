@@ -14,36 +14,36 @@
 //! cargo run --release --example tourist_hotspot
 //! ```
 
-use maxrs::core::ApproxMaxCrsOptions;
 use maxrs::datagen::{Dataset, DatasetKind};
 use maxrs::geometry::range_sum_circle;
-use maxrs::{approx_max_crs_from_objects, exact_max_crs_in_memory, EmConfig, EmContext};
+use maxrs::{exact_max_crs_in_memory, EmConfig, MaxRsEngine, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Attractions of a touristic city (clustered like the UX dataset).
     let city = Dataset::generate(DatasetKind::Ux, 8_000, 2024);
     println!("city with {} attractions", city.len());
 
+    // One engine serves every walking radius; it picks the execution strategy
+    // (in-memory sweep vs. external pipeline) per query from the dataset size
+    // and the memory budget.
+    let engine = MaxRsEngine::with_em_config(EmConfig::paper_real());
+
     // The tourist is willing to walk 5 km from the hotel: diameter 10 km.
     for walk_km in [2.0, 5.0, 10.0] {
         let diameter = walk_km * 2.0 * 1000.0;
-        let ctx = EmContext::new(EmConfig::paper_real());
-        let approx = approx_max_crs_from_objects(
-            &ctx,
-            &city.objects,
-            diameter,
-            &ApproxMaxCrsOptions::default(),
-        )?;
+        let run = engine.run(&city.objects, &Query::approx_max_crs(diameter))?;
+        let approx = *run.answer.as_max_crs().expect("circle answer");
         let exact = exact_max_crs_in_memory(&city.objects, diameter);
         let ratio = approx.total_weight / exact.total_weight.max(1.0);
         println!(
             "walk {walk_km:>4.1} km: hotel at ({:>9.0}, {:>9.0}) reaches {:>5} attractions \
-             (optimum {:>5}, ratio {ratio:.3}, {} I/Os)",
+             (optimum {:>5}, ratio {ratio:.3}, {} via {} I/Os)",
             approx.center.x,
             approx.center.y,
             approx.total_weight,
             exact.total_weight,
-            ctx.stats().total()
+            run.strategy.name(),
+            run.io.total()
         );
         // The returned spot really does cover the promised number of attractions.
         assert_eq!(

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/*.md points
+# at an existing file (or directory), so the docs cannot rot silently.
+# External links (http/https) and pure anchors (#...) are skipped; an anchor
+# suffix on a relative link is stripped before the existence check.
+#
+# Usage: scripts/check_links.sh   (any working directory; resolves the repo
+# root from its own location)
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+checked=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    checked=$((checked + 1))
+    dir=$(dirname "$doc")
+    # Pull out every (target) of a markdown [text](target) link.  The grep
+    # intentionally ignores code spans' parentheses by requiring the ]( form.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN LINK: $doc -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o '\][(][^)]*[)]' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$checked" -eq 0 ]; then
+    echo "link check found no documents to check — misconfigured?" >&2
+    exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed" >&2
+    exit 1
+fi
+echo "link check passed ($checked documents)"
