@@ -179,7 +179,7 @@ impl AsbTree {
             level_offsets.push(offset);
             offset += count;
         }
-        let file = ctx.create_raw_file();
+        let file = ctx.create_raw_file()?;
         // Zero-initialize every node block (counted as the build cost).
         for block in 0..offset {
             ctx.with_block_write(file, block, true, |buf| buf.fill(0))?;
@@ -302,7 +302,10 @@ impl AsbTree {
     fn children_in(&self, level: usize, node: u64) -> usize {
         let child_span = self.child_span(level);
         let node_base = node * self.level_spans[level];
-        let covered = self.leaves.saturating_sub(node_base).min(self.level_spans[level]);
+        let covered = self
+            .leaves
+            .saturating_sub(node_base)
+            .min(self.level_spans[level]);
         covered.div_ceil(child_span) as usize
     }
 
@@ -356,7 +359,9 @@ impl AsbTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maxrs_core::{exact_max_rs, load_objects, max_rs_in_memory, rect_objective, ExactMaxRsOptions};
+    use maxrs_core::{
+        exact_max_rs, load_objects, max_rs_in_memory, rect_objective, ExactMaxRsOptions,
+    };
     use maxrs_em::EmConfig;
     use maxrs_geometry::WeightedPoint;
 
@@ -373,7 +378,13 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
-            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 3.0).floor()))
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * extent,
+                    next() * extent,
+                    1.0 + (next() * 3.0).floor(),
+                )
+            })
             .collect()
     }
 
@@ -382,14 +393,20 @@ mod tests {
         let ctx = ctx();
         let empty = load_objects(&ctx, &[]).unwrap();
         assert_eq!(
-            asb_tree_sweep(&ctx, &empty, RectSize::square(2.0)).unwrap().total_weight,
+            asb_tree_sweep(&ctx, &empty, RectSize::square(2.0))
+                .unwrap()
+                .total_weight,
             0.0
         );
         let single = load_objects(&ctx, &[WeightedPoint::at(5.0, 5.0, 3.0)]).unwrap();
         let r = asb_tree_sweep(&ctx, &single, RectSize::square(2.0)).unwrap();
         assert_eq!(r.total_weight, 3.0);
         assert_eq!(
-            rect_objective(&[WeightedPoint::at(5.0, 5.0, 3.0)], r.center, RectSize::square(2.0)),
+            rect_objective(
+                &[WeightedPoint::at(5.0, 5.0, 3.0)],
+                r.center,
+                RectSize::square(2.0)
+            ),
             3.0
         );
     }
@@ -405,8 +422,14 @@ mod tests {
                 let asb = asb_tree_sweep(&ctx, &file, size).unwrap();
                 let reference = max_rs_in_memory(&objects, size);
                 let exact = exact_max_rs(&ctx, &file, size, &ExactMaxRsOptions::default()).unwrap();
-                assert_eq!(asb.total_weight, reference.total_weight, "seed={seed} side={side}");
-                assert_eq!(asb.total_weight, exact.total_weight, "seed={seed} side={side}");
+                assert_eq!(
+                    asb.total_weight, reference.total_weight,
+                    "seed={seed} side={side}"
+                );
+                assert_eq!(
+                    asb.total_weight, exact.total_weight,
+                    "seed={seed} side={side}"
+                );
                 assert_eq!(
                     rect_objective(&objects, asb.center, size),
                     asb.total_weight,
@@ -425,7 +448,10 @@ mod tests {
         let (_r, stats) = asb_tree_sweep_with_stats(&ctx, &file, RectSize::square(40.0)).unwrap();
         assert!(stats.leaves > 0 && stats.leaves < 400);
         assert_eq!(stats.fanout, 512 / 16);
-        assert!(stats.levels >= 2, "200 objects with fanout 32 need two levels");
+        assert!(
+            stats.levels >= 2,
+            "200 objects with fanout 32 need two levels"
+        );
         assert!(stats.nodes >= stats.leaves / stats.fanout as u64);
     }
 

@@ -222,8 +222,7 @@ mod tests {
     #[test]
     fn duplicate_coordinates_collapse_intervals() {
         let ctx = ctx();
-        let objects: Vec<WeightedPoint> =
-            (0..10).map(|_| WeightedPoint::unit(5.0, 5.0)).collect();
+        let objects: Vec<WeightedPoint> = (0..10).map(|_| WeightedPoint::unit(5.0, 5.0)).collect();
         let file = load_objects(&ctx, &objects).unwrap();
         let inputs = prepare_sweep_inputs(&ctx, &file, RectSize::square(2.0)).unwrap();
         // All rectangles coincide: a single elementary interval remains.

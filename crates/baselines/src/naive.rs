@@ -124,7 +124,13 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
-            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 3.0).floor()))
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * extent,
+                    next() * extent,
+                    1.0 + (next() * 3.0).floor(),
+                )
+            })
             .collect()
     }
 
@@ -133,7 +139,9 @@ mod tests {
         let ctx = ctx();
         let empty = load_objects(&ctx, &[]).unwrap();
         assert_eq!(
-            naive_sweep(&ctx, &empty, RectSize::square(2.0)).unwrap().total_weight,
+            naive_sweep(&ctx, &empty, RectSize::square(2.0))
+                .unwrap()
+                .total_weight,
             0.0
         );
         let single = load_objects(&ctx, &[WeightedPoint::at(5.0, 5.0, 3.0)]).unwrap();
@@ -151,7 +159,10 @@ mod tests {
                 let size = RectSize::square(side);
                 let naive = naive_sweep(&ctx, &file, size).unwrap();
                 let reference = max_rs_in_memory(&objects, size);
-                assert_eq!(naive.total_weight, reference.total_weight, "seed={seed} side={side}");
+                assert_eq!(
+                    naive.total_weight, reference.total_weight,
+                    "seed={seed} side={side}"
+                );
                 assert_eq!(
                     rect_objective(&objects, naive.center, size),
                     naive.total_weight,
@@ -190,13 +201,15 @@ mod tests {
     }
 
     #[test]
-    fn cleans_up_temporary_files(){
+    fn cleans_up_temporary_files() {
         let ctx = ctx();
         let objects = pseudo_random_objects(80, 6, 500.0);
         let file = load_objects(&ctx, &objects).unwrap();
         let before = ctx.disk_blocks();
         naive_sweep(&ctx, &file, RectSize::square(30.0)).unwrap();
         // Everything except (at most) the input object file's blocks is gone.
-        assert!(ctx.disk_blocks() <= before.max(ctx.config().blocks_for::<ObjectRecord>(file.len())));
+        assert!(
+            ctx.disk_blocks() <= before.max(ctx.config().blocks_for::<ObjectRecord>(file.len()))
+        );
     }
 }

@@ -53,7 +53,10 @@ fn buffer_growth_reduces_io_and_lets_small_data_fit() {
     let small = run_naive(4);
     let medium = run_naive(16);
     let huge = run_naive(1024); // 4 MB buffer: everything fits
-    assert!(medium <= small, "more buffer must not increase naive I/O ({medium} > {small})");
+    assert!(
+        medium <= small,
+        "more buffer must not increase naive I/O ({medium} > {small})"
+    );
     assert!(huge <= medium);
     assert!(
         huge < small / 10,
@@ -88,8 +91,13 @@ fn range_growth_hurts_baselines_more() {
                 asb_tree_sweep(&ctx, &file, RectSize::square(range)).unwrap();
             }
             _ => {
-                exact_max_rs(&ctx, &file, RectSize::square(range), &ExactMaxRsOptions::default())
-                    .unwrap();
+                exact_max_rs(
+                    &ctx,
+                    &file,
+                    RectSize::square(range),
+                    &ExactMaxRsOptions::default(),
+                )
+                .unwrap();
             }
         }
         ctx.stats().total() as f64

@@ -45,7 +45,11 @@ fn bench_fanout(c: &mut Criterion) {
             memory_rects: Some(500),
             ..Default::default()
         };
-        println!("m = {:>2}: {} I/Os", fanout, run_with(&opts, &dataset, config));
+        println!(
+            "m = {:>2}: {} I/Os",
+            fanout,
+            run_with(&opts, &dataset, config)
+        );
     }
 }
 
@@ -71,7 +75,11 @@ fn bench_memory_threshold(c: &mut Criterion) {
             memory_rects: Some(mem),
             ..Default::default()
         };
-        println!("M = {:>5} rects: {} I/Os", mem, run_with(&opts, &dataset, config));
+        println!(
+            "M = {:>5} rects: {} I/Os",
+            mem,
+            run_with(&opts, &dataset, config)
+        );
     }
 }
 

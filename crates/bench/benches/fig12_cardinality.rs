@@ -18,13 +18,9 @@ fn bench_cardinality(c: &mut Criterion) {
     for &n in &[1000usize, 2000, 4000] {
         let dataset = Dataset::generate(DatasetKind::Gaussian, n, 42);
         for algorithm in [Algorithm::ExactMaxRs, Algorithm::AsbTree] {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), n),
-                &dataset,
-                |b, ds| {
-                    b.iter(|| run_algorithm(algorithm, config, &ds.objects, size).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &dataset, |b, ds| {
+                b.iter(|| run_algorithm(algorithm, config, &ds.objects, size).unwrap());
+            });
         }
         // The quadratic Naive baseline only at the smallest size.
         if n == 1000 {

@@ -149,12 +149,51 @@ fn bench_engine_variants(c: &mut Criterion) {
     }
 }
 
+/// Cold query vs. second query on a [`PreparedDataset`]: the amortization
+/// the prepared layer exists for.  "cold" pays transform + external sort +
+/// sweep on every iteration (`MaxRsEngine::run_file`); "warm" re-runs the
+/// query against the dataset's retained x-sorted file and pays only
+/// transform + sweep.  The printed footer records the backend and the I/O
+/// split so the bench output documents *why* the warm path wins.
+fn bench_prepared_reuse(c: &mut Criterion) {
+    use maxrs_bench::runner::run_prepared_reuse;
+
+    let config = EmConfig::new(4096, 64 * 4096).unwrap();
+    let ds = Dataset::generate(DatasetKind::Uniform, 30_000, 29);
+    let size = RectSize::square(20_000.0);
+    let query = Query::max_rs(size);
+
+    let mut group = c.benchmark_group("prepared_reuse");
+    group.sample_size(10);
+
+    let engine = MaxRsEngine::with_em_config(config);
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, &ds.objects).unwrap();
+    group.bench_function("cold_run_file", |b| {
+        b.iter(|| engine.run_file(&ctx, &file, &query).unwrap());
+    });
+
+    let prepared = engine.prepare_file(&ctx, &file).unwrap();
+    group.bench_function("warm_prepared_run", |b| {
+        b.iter(|| prepared.run(&query).unwrap());
+    });
+    drop(prepared);
+    group.finish();
+
+    let row = run_prepared_reuse(config, &ds.objects, &query, 1).unwrap();
+    println!(
+        "prepared_reuse {}: backend={} cold_io={} prepare_io={} warm_io={}",
+        row.query, row.backend, row.cold_io, row.prepare_io, row.warm_io
+    );
+}
+
 criterion_group!(
     benches,
     bench_segment_tree,
     bench_plane_sweep,
     bench_external_sort,
     bench_engine_parallelism,
-    bench_engine_variants
+    bench_engine_variants,
+    bench_prepared_reuse
 );
 criterion_main!(benches);

@@ -17,13 +17,20 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use maxrs_bench::config::ExperimentScale;
+use maxrs_bench::config::{
+    ExperimentScale, PAPER_BUFFER_SYNTHETIC, PAPER_CARDINALITY, PAPER_RANGE,
+};
 use maxrs_bench::figures::{
     fig12_cardinality, fig13_buffer, fig14_range, fig15_buffer_real, fig16_range_real,
     fig17_quality, FigureOptions,
 };
+use maxrs_bench::json::Value;
 use maxrs_bench::report::FigureReport;
+use maxrs_bench::runner::{run_prepared_reuse, PreparedReuseRun};
 use maxrs_bench::tables::{table2, table3};
+use maxrs_core::Query;
+use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_geometry::RectSize;
 
 struct Args {
     command: String,
@@ -67,8 +74,30 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3> \
+    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
+}
+
+/// Cold-vs-prepared comparison at the synthetic defaults: how much I/O and
+/// wall-clock a repeated-query workload saves per query by reusing one
+/// [`PreparedDataset`](maxrs_core::PreparedDataset), per query variant.  The
+/// storage backend in use (sim by default, `MAXRS_BACKEND=fs` for real
+/// files) is recorded in every row.
+fn prepared_reuse(opts: &FigureOptions) -> Vec<PreparedReuseRun> {
+    let n = opts.scale.cardinality(PAPER_CARDINALITY);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let ds = Dataset::generate(DatasetKind::Uniform, n, opts.seed);
+    let size = RectSize::square(PAPER_RANGE);
+    [
+        Query::max_rs(size),
+        Query::top_k(size, 3),
+        Query::approx_max_crs(PAPER_RANGE),
+    ]
+    .iter()
+    .map(|q| {
+        run_prepared_reuse(config, &ds.objects, q, 1).expect("prepared-reuse measurement failed")
+    })
+    .collect()
 }
 
 fn main() -> ExitCode {
@@ -92,21 +121,26 @@ fn main() -> ExitCode {
     println!(
         "MaxRS experiment harness — scale factor {:.3}{}, seed {}",
         opts.scale.factor,
-        if opts.scale.is_paper_scale() { " (paper scale)" } else { "" },
+        if opts.scale.is_paper_scale() {
+            " (paper scale)"
+        } else {
+            ""
+        },
         opts.seed
     );
 
     let mut reports: Vec<FigureReport> = Vec::new();
     let start = Instant::now();
-    let run = |name: &str, f: &mut dyn FnMut() -> Vec<FigureReport>, reports: &mut Vec<FigureReport>| {
-        let t = Instant::now();
-        let mut rs = f();
-        for r in &rs {
-            println!("\n{}", r.to_table_string());
-        }
-        println!("[{name} took {:.1?}]", t.elapsed());
-        reports.append(&mut rs);
-    };
+    let run =
+        |name: &str, f: &mut dyn FnMut() -> Vec<FigureReport>, reports: &mut Vec<FigureReport>| {
+            let t = Instant::now();
+            let mut rs = f();
+            for r in &rs {
+                println!("\n{}", r.to_table_string());
+            }
+            println!("[{name} took {:.1?}]", t.elapsed());
+            reports.append(&mut rs);
+        };
 
     let command = args.command.as_str();
     if matches!(command, "table2" | "all") {
@@ -133,24 +167,57 @@ fn main() -> ExitCode {
     if matches!(command, "fig17" | "all") {
         run("fig17", &mut || vec![fig17_quality(&opts)], &mut reports);
     }
+    let mut prepared_rows: Vec<PreparedReuseRun> = Vec::new();
+    if matches!(command, "prepared" | "all") {
+        let t = Instant::now();
+        prepared_rows = prepared_reuse(&opts);
+        println!("\nprepared_reuse (backend, per-query cold vs. warm):");
+        for row in &prepared_rows {
+            println!(
+                "  {:<14} backend={:<4} n={} cold={:.1?}/{} prepare={:.1?}/{} warm={:.1?}/{}",
+                row.query,
+                row.backend,
+                row.n,
+                std::time::Duration::from_nanos(row.cold_ns as u64),
+                row.cold_io,
+                std::time::Duration::from_nanos(row.prepare_ns as u64),
+                row.prepare_io,
+                std::time::Duration::from_nanos(row.warm_ns as u64),
+                row.warm_io,
+            );
+        }
+        println!("[prepared took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
-        "all" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "table2" | "table3"
+        "all"
+            | "fig12"
+            | "fig13"
+            | "fig14"
+            | "fig15"
+            | "fig16"
+            | "fig17"
+            | "table2"
+            | "table3"
+            | "prepared"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
     }
 
     if let Some(path) = args.json_path {
-        let json = maxrs_bench::json::Value::Array(
-            reports.iter().map(FigureReport::to_value).collect(),
-        )
-        .to_pretty_string();
+        let values: Vec<Value> = reports
+            .iter()
+            .map(FigureReport::to_value)
+            .chain(prepared_rows.iter().map(PreparedReuseRun::to_value))
+            .collect();
+        let count = values.len();
+        let json = Value::Array(values).to_pretty_string();
         if let Err(e) = fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {} reports to {path}", reports.len());
+        println!("wrote {count} reports to {path}");
     }
     println!("total time: {:.1?}", start.elapsed());
     ExitCode::SUCCESS

@@ -23,13 +23,8 @@ pub const PAPER_BUFFERS_SYNTHETIC: [usize; 5] = [
     2048 * 1024,
 ];
 /// Buffer-size sweep of Figure 15 (bytes).
-pub const PAPER_BUFFERS_REAL: [usize; 5] = [
-    64 * 1024,
-    128 * 1024,
-    256 * 1024,
-    384 * 1024,
-    512 * 1024,
-];
+pub const PAPER_BUFFERS_REAL: [usize; 5] =
+    [64 * 1024, 128 * 1024, 256 * 1024, 384 * 1024, 512 * 1024];
 /// Range-size sweep of Figures 14 and 16.
 pub const PAPER_RANGES: [f64; 5] = [1000.0, 2500.0, 5000.0, 7500.0, 10000.0];
 /// Diameter sweep of Figure 17.

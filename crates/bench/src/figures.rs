@@ -300,8 +300,16 @@ mod tests {
             // At the largest cardinality the paper's ordering must hold.
             let x = *xs.last().unwrap();
             let naive = report.series_named("Naive").unwrap().value_at(x).unwrap();
-            let asb = report.series_named("aSB-Tree").unwrap().value_at(x).unwrap();
-            let exact = report.series_named("ExactMaxRS").unwrap().value_at(x).unwrap();
+            let asb = report
+                .series_named("aSB-Tree")
+                .unwrap()
+                .value_at(x)
+                .unwrap();
+            let exact = report
+                .series_named("ExactMaxRS")
+                .unwrap()
+                .value_at(x)
+                .unwrap();
             assert!(exact < asb, "{}: exact {exact} vs asb {asb}", report.id);
             assert!(asb < naive, "{}: asb {asb} vs naive {naive}", report.id);
         }

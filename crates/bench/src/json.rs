@@ -325,11 +325,7 @@ impl Parser<'_> {
                     // byte-for-byte; the input is a valid &str).
                     let start = self.at;
                     self.at += 1;
-                    while self
-                        .bytes
-                        .get(self.at)
-                        .is_some_and(|b| b & 0xC0 == 0x80)
-                    {
+                    while self.bytes.get(self.at).is_some_and(|b| b & 0xC0 == 0x80) {
                         self.at += 1;
                     }
                     out.push_str(std::str::from_utf8(&self.bytes[start..self.at]).unwrap());
@@ -340,12 +336,12 @@ impl Parser<'_> {
 
     /// Reads four hex digits starting at byte offset `from`.
     fn hex4(&self, from: usize) -> Result<u32, String> {
-        let hex = self.bytes.get(from..from + 4).ok_or("truncated \\u escape")?;
-        u32::from_str_radix(
-            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-            16,
-        )
-        .map_err(|e| e.to_string())
+        let hex = self
+            .bytes
+            .get(from..from + 4)
+            .ok_or("truncated \\u escape")?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -353,9 +349,10 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.at += 1;
         }
-        while self.peek().is_some_and(|b| {
-            b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
-        }) {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
             self.at += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.at])

@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn series_lookup() {
         let r = sample();
-        assert_eq!(r.series_named("Naive").unwrap().value_at(100.0), Some(50000.0));
+        assert_eq!(
+            r.series_named("Naive").unwrap().value_at(100.0),
+            Some(50000.0)
+        );
         assert!(r.series_named("missing").is_none());
         assert_eq!(r.x_values(), vec![100.0, 200.0]);
         assert_eq!(r.series_named("ExactMaxRS").unwrap().value_at(300.0), None);

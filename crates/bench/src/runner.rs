@@ -1,5 +1,7 @@
 //! Running one algorithm on one dataset under one EM configuration.
 
+use std::time::Instant;
+
 use maxrs_baselines::{asb_tree_sweep, naive_sweep, Algorithm};
 use maxrs_core::{
     exact_max_rs, load_objects, EngineOptions, EngineRun, ExactMaxRsOptions, MaxRsEngine,
@@ -7,6 +9,8 @@ use maxrs_core::{
 };
 use maxrs_em::{EmConfig, EmContext, IoSnapshot};
 use maxrs_geometry::{RectSize, WeightedPoint};
+
+use crate::json::Value;
 
 /// Outcome of one algorithm run: the answer and the I/O it cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +106,103 @@ pub fn run_query(
     engine.run_file(&ctx, &file, query)
 }
 
+/// One cold-vs-prepared comparison: the same query answered by a stateless
+/// [`MaxRsEngine::run_file`] (pays the external sort every time) and by the
+/// second run on a [`PreparedDataset`](maxrs_core::PreparedDataset) (sort
+/// paid once at prepare time), with wall-clock and I/O for every phase and
+/// the storage-backend name recorded alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedReuseRun {
+    /// Storage-backend name of the context ("sim", "fs").
+    pub backend: String,
+    /// Short name of the query variant measured.
+    pub query: String,
+    /// Dataset cardinality.
+    pub n: u64,
+    /// Wall-clock of the cold single-shot query, in nanoseconds.
+    pub cold_ns: u128,
+    /// Wall-clock of the one-time preparation (external x-sort).
+    pub prepare_ns: u128,
+    /// Wall-clock of the *second* query on the prepared dataset (the first
+    /// warm run is discarded as pool warm-up).
+    pub warm_ns: u128,
+    /// Blocks transferred by the cold query.
+    pub cold_io: IoSnapshot,
+    /// Blocks transferred by the preparation.
+    pub prepare_io: IoSnapshot,
+    /// Blocks transferred by the measured warm query.
+    pub warm_io: IoSnapshot,
+}
+
+impl PreparedReuseRun {
+    /// Serializes the comparison for the experiment harness's JSON output.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("id", Value::String("prepared_reuse".into())),
+            ("backend", Value::String(self.backend.clone())),
+            ("query", Value::String(self.query.clone())),
+            ("n", Value::Number(self.n as f64)),
+            ("cold_ns", Value::Number(self.cold_ns as f64)),
+            ("prepare_ns", Value::Number(self.prepare_ns as f64)),
+            ("warm_ns", Value::Number(self.warm_ns as f64)),
+            ("cold_io", Value::Number(self.cold_io.total() as f64)),
+            ("prepare_io", Value::Number(self.prepare_io.total() as f64)),
+            ("warm_io", Value::Number(self.warm_io.total() as f64)),
+            (
+                "io_saved_per_query",
+                Value::Number(self.cold_io.total().saturating_sub(self.warm_io.total()) as f64),
+            ),
+        ])
+    }
+}
+
+/// Measures cold-vs-prepared execution of `query` under a fresh EM context
+/// (dataset loading excluded from every phase, as usual).
+pub fn run_prepared_reuse(
+    config: EmConfig,
+    objects: &[WeightedPoint],
+    query: &Query,
+    parallelism: usize,
+) -> maxrs_core::Result<PreparedReuseRun> {
+    let engine = MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions {
+            parallelism,
+            ..Default::default()
+        },
+        force_strategy: None,
+    });
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, objects)?;
+
+    let t = Instant::now();
+    let cold = engine.run_file(&ctx, &file, query)?;
+    let cold_ns = t.elapsed().as_nanos();
+
+    let t = Instant::now();
+    let prepared = engine.prepare_file(&ctx, &file)?;
+    let prepare_ns = t.elapsed().as_nanos();
+
+    // First warm run fills the buffer pool; the second is the steady state a
+    // repeated-query workload observes.
+    let _ = prepared.run(query)?;
+    let t = Instant::now();
+    let warm = prepared.run(query)?;
+    let warm_ns = t.elapsed().as_nanos();
+
+    Ok(PreparedReuseRun {
+        backend: ctx.backend_name().to_string(),
+        query: query.name().to_string(),
+        n: file.len(),
+        cold_ns,
+        prepare_ns,
+        warm_ns,
+        cold_io: cold.io,
+        prepare_io: prepared.prepare_io(),
+        warm_io: warm.io,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,8 +243,7 @@ mod tests {
         let max = run_query(config, &ds.objects, &Query::max_rs(size), 1).unwrap();
         let top = run_query(config, &ds.objects, &Query::top_k(size, 3), 1).unwrap();
         let min = run_query(config, &ds.objects, &Query::min_rs(size, domain), 1).unwrap();
-        let crs =
-            run_query(config, &ds.objects, &Query::approx_max_crs(60_000.0), 1).unwrap();
+        let crs = run_query(config, &ds.objects, &Query::approx_max_crs(60_000.0), 1).unwrap();
 
         // 1500 objects exceed the tiny buffer: every variant went external.
         for run in [&max, &top, &min, &crs] {
@@ -156,6 +256,39 @@ mod tests {
         assert_eq!(placements[0].total_weight, best, "top-1 equals MaxRS");
         assert!(min.answer.as_max_rs().unwrap().total_weight <= best);
         assert!(crs.answer.as_max_crs().unwrap().total_weight <= best + 1e-9);
+    }
+
+    #[test]
+    fn prepared_reuse_records_backend_and_beats_cold_io() {
+        let ds = Dataset::generate(DatasetKind::Uniform, 2000, 7);
+        let config = EmConfig::new(512, 32 * 512).unwrap();
+        let run = run_prepared_reuse(
+            config,
+            &ds.objects,
+            &Query::max_rs(RectSize::square(50_000.0)),
+            1,
+        )
+        .unwrap();
+        assert_eq!(run.backend, config.backend.name());
+        assert_eq!(run.n, 2000);
+        assert!(run.prepare_io.total() > 0, "the x-sort does I/O");
+        assert!(
+            run.warm_io.total() < run.cold_io.total(),
+            "warm {} must beat cold {}",
+            run.warm_io,
+            run.cold_io
+        );
+        let json = run.to_value();
+        assert_eq!(
+            json.get("backend").unwrap().as_str(),
+            Some(run.backend.as_str())
+        );
+        assert_eq!(json.get("query").unwrap().as_str(), Some("max-rs"));
+        assert!(json.get("warm_ns").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(
+            json.get("io_saved_per_query").unwrap().as_f64().unwrap(),
+            (run.cold_io.total() - run.warm_io.total()) as f64
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub fn table2(scale: ExperimentScale, seed: u64) -> String {
 pub fn table3(scale: ExperimentScale) -> String {
     let mut out = String::new();
     out.push_str("# Table 3 — default experiment parameters\n");
-    out.push_str(&format!("{:<28}{:>16}{:>16}\n", "Parameter", "Paper", "This run"));
+    out.push_str(&format!(
+        "{:<28}{:>16}{:>16}\n",
+        "Parameter", "Paper", "This run"
+    ));
     let rows: Vec<(String, String, String)> = vec![
         (
             "Cardinality (|O|)".into(),
@@ -58,11 +61,7 @@ pub fn table3(scale: ExperimentScale) -> String {
             format!("{} KB", PAPER_BUFFER_REAL / 1024),
             format!("{} KB", scale.buffer_bytes(PAPER_BUFFER_REAL) / 1024),
         ),
-        (
-            "Space size".into(),
-            "1M x 1M".into(),
-            "1M x 1M".into(),
-        ),
+        ("Space size".into(), "1M x 1M".into(), "1M x 1M".into()),
         (
             "Rectangle size (d1 x d2)".into(),
             format!("{0} x {0}", PAPER_RANGE),
@@ -115,6 +114,9 @@ mod tests {
         assert!(t.contains("1M x 1M"));
         // `reduced()` is 4% of the paper's sizes: 0.04 * 250_000 = 10_000.
         let reduced = table3(ExperimentScale::reduced());
-        assert!(reduced.contains("10000"), "reduced cardinality column missing:\n{reduced}");
+        assert!(
+            reduced.contains("10000"),
+            "reduced cardinality column missing:\n{reduced}"
+        );
     }
 }

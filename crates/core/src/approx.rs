@@ -20,7 +20,7 @@ use maxrs_em::{EmContext, TupleFile};
 use maxrs_geometry::{Point, RectSize, WeightedPoint};
 
 use crate::error::{CoreError, Result};
-use crate::exact::{exact_max_rs, load_objects, ExactMaxRsOptions};
+use crate::exact::{exact_max_rs, exact_max_rs_presorted, load_objects, ExactMaxRsOptions};
 use crate::plane_sweep::max_rs_in_memory;
 use crate::records::ObjectRecord;
 use crate::result::MaxCrsResult;
@@ -58,6 +58,30 @@ pub fn approx_max_crs(
     diameter: f64,
     opts: &ApproxMaxCrsOptions,
 ) -> Result<MaxCrsResult> {
+    approx_max_crs_impl(ctx, objects, diameter, opts, false)
+}
+
+/// [`approx_max_crs`] over an object file already sorted by x (see
+/// [`sort_objects_by_x`](crate::exact::sort_objects_by_x)): the MaxRS step
+/// of Algorithm 3 runs through
+/// [`exact_max_rs_presorted`], skipping the external sort.  Used by
+/// [`PreparedDataset`](crate::PreparedDataset).
+pub fn approx_max_crs_presorted(
+    ctx: &EmContext,
+    sorted_objects: &TupleFile<ObjectRecord>,
+    diameter: f64,
+    opts: &ApproxMaxCrsOptions,
+) -> Result<MaxCrsResult> {
+    approx_max_crs_impl(ctx, sorted_objects, diameter, opts, true)
+}
+
+fn approx_max_crs_impl(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    diameter: f64,
+    opts: &ApproxMaxCrsOptions,
+    presorted: bool,
+) -> Result<MaxCrsResult> {
     if diameter <= 0.0 || !diameter.is_finite() {
         return Err(CoreError::InvalidParameter(format!(
             "circle diameter must be positive and finite, got {diameter}"
@@ -74,7 +98,11 @@ pub fn approx_max_crs(
     }
 
     // 1. Solve MaxRS on the MBRs of the circles (d x d squares).
-    let rect_result = exact_max_rs(ctx, objects, RectSize::square(diameter), &opts.exact)?;
+    let rect_result = if presorted {
+        exact_max_rs_presorted(ctx, objects, RectSize::square(diameter), &opts.exact)?
+    } else {
+        exact_max_rs(ctx, objects, RectSize::square(diameter), &opts.exact)?
+    };
     let p0 = rect_result.center;
 
     // 2. Candidate points: p0 plus the four diagonally shifted points.
@@ -275,7 +303,11 @@ mod tests {
     #[should_panic(expected = "outside the admissible interval")]
     fn candidate_points_panics_on_sigma_fraction_below_the_interval() {
         // (sqrt(2)-1)/2 is excluded: Lemma 5 needs the *open* interval.
-        let _ = candidate_points(Point::new(0.0, 0.0), 2.0, (std::f64::consts::SQRT_2 - 1.0) / 2.0);
+        let _ = candidate_points(
+            Point::new(0.0, 0.0),
+            2.0,
+            (std::f64::consts::SQRT_2 - 1.0) / 2.0,
+        );
     }
 
     #[test]
@@ -325,7 +357,10 @@ mod tests {
             let candidates = candidate_points(p0, d, sigma_fraction);
             for i in 0..=20 {
                 for j in 0..=20 {
-                    let q = Point::new(-d / 2.0 + d * i as f64 / 20.0, -d / 2.0 + d * j as f64 / 20.0);
+                    let q = Point::new(
+                        -d / 2.0 + d * i as f64 / 20.0,
+                        -d / 2.0 + d * j as f64 / 20.0,
+                    );
                     let covered = candidates[1..]
                         .iter()
                         .any(|c| c.distance(&q) <= d / 2.0 + 1e-9);

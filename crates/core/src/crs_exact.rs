@@ -151,7 +151,13 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
-            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 3.0).floor()))
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * extent,
+                    next() * extent,
+                    1.0 + (next() * 3.0).floor(),
+                )
+            })
             .collect()
     }
 

@@ -6,7 +6,7 @@
 //! * datasets whose transformed rectangles fit in the memory budget `M` are
 //!   solved by the classic in-memory plane sweep (the recursion base case),
 //! * larger datasets go through the external-memory distribution sweep
-//!   ([`exact_max_rs`]), and
+//!   ([`exact_max_rs`](crate::exact::exact_max_rs)), and
 //! * when the machine has spare cores *and* the buffer is large enough for
 //!   concurrent slab workers, the distribution sweep runs its parallel slab
 //!   stage.
@@ -27,10 +27,10 @@
 use maxrs_em::{EmConfig, EmContext, IoSnapshot, TupleFile};
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
-use crate::approx::{approx_max_crs, approx_max_crs_in_memory, ApproxMaxCrsOptions};
+use crate::approx::{approx_max_crs_in_memory, approx_max_crs_presorted, ApproxMaxCrsOptions};
 use crate::error::Result;
 use crate::exact::{
-    distribution_sweep, exact_max_rs, load_objects, next_breakpoint_after,
+    distribution_sweep_presorted, exact_max_rs_presorted, next_breakpoint_after,
     transform_to_scaled_rect_file, ExactMaxRsOptions,
 };
 use crate::extensions::{max_k_rs_in_memory, min_rs_in_memory, min_strip_scan};
@@ -187,7 +187,7 @@ impl MaxRsEngine {
     /// Strategy selection against an explicit EM configuration (the engine's
     /// own for [`solve`](MaxRsEngine::solve), the target context's for
     /// [`solve_file`](MaxRsEngine::solve_file)).
-    fn select_for(&self, n: u64, config: EmConfig) -> (ExecutionStrategy, usize) {
+    pub(crate) fn select_for(&self, n: u64, config: EmConfig) -> (ExecutionStrategy, usize) {
         let workers = self.opts.exact.effective_parallelism(config);
         if let Some(forced) = self.opts.force_strategy {
             return match forced {
@@ -195,9 +195,7 @@ impl MaxRsEngine {
                 // cap; report the strategy that would actually execute so
                 // this prediction always matches the produced `EngineRun`.
                 ExecutionStrategy::ExternalParallel if workers > 1 => (forced, workers),
-                ExecutionStrategy::ExternalParallel => {
-                    (ExecutionStrategy::ExternalSequential, 1)
-                }
+                ExecutionStrategy::ExternalParallel => (ExecutionStrategy::ExternalSequential, 1),
                 _ => (forced, 1),
             };
         }
@@ -265,8 +263,11 @@ impl MaxRsEngine {
     /// ```
     pub fn run(&self, objects: &[WeightedPoint], query: &Query) -> Result<QueryRun> {
         query.validate()?;
-        let (strategy, workers) = self.select_strategy(objects.len() as u64);
+        let (strategy, _) = self.select_strategy(objects.len() as u64);
         if strategy == ExecutionStrategy::InMemory {
+            // Answer directly from the borrowed slice: building a throwaway
+            // prepared dataset here would copy the whole dataset per query
+            // for no benefit.
             return Ok(QueryRun {
                 answer: answer_in_memory(objects, query),
                 strategy,
@@ -274,13 +275,18 @@ impl MaxRsEngine {
                 io: IoSnapshot::default(),
             });
         }
-        let ctx = EmContext::new(self.opts.em_config);
-        let file = load_objects(&ctx, objects)?;
-        // No reset needed: run_external reports the I/O as a delta, which
-        // already excludes the load above.
-        let run = self.run_external(&ctx, &file, query, strategy, workers);
-        ctx.delete_file(file)?;
-        run
+        // External single-shot queries route through the prepared-dataset
+        // machinery: `prepare` pays the one-time x-sort, the prepared run
+        // answers the query over the sorted file.  The reported I/O is the
+        // sum of both phases (loading the objects stays excluded, as in the
+        // paper's measurements), and answers are bit-identical to a
+        // repeated-query [`PreparedDataset`] by construction.
+        let prepared = self.prepare(objects)?;
+        let run = prepared.run(query)?;
+        Ok(QueryRun {
+            io: run.io + prepared.prepare_io(),
+            ..run
+        })
     }
 
     /// Answers any [`Query`] variant over an object file already stored in
@@ -296,22 +302,19 @@ impl MaxRsEngine {
         query: &Query,
     ) -> Result<QueryRun> {
         query.validate()?;
-        // The file lives in `ctx`, so the in-memory cutoff and worker cap
-        // must come from *its* configuration — the engine's own em_config
-        // only describes contexts the engine creates itself.
-        let (strategy, workers) = self.select_for(objects.len(), ctx.config());
-        if strategy == ExecutionStrategy::InMemory {
-            let before = ctx.stats();
-            let records = ctx.read_all(objects)?;
-            let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
-            return Ok(QueryRun {
-                answer: answer_in_memory(&points, query),
-                strategy,
-                workers: 1,
-                io: ctx.stats().since(&before),
-            });
-        }
-        self.run_external(ctx, objects, query, strategy, workers)
+        // Routed through the prepared-dataset machinery: `prepare_file` pays
+        // the one-time scan (in-memory strategy) or x-sort (external
+        // strategies) inside `ctx`, the prepared run answers the query, and
+        // dropping the prepared dataset removes its sorted file again.  The
+        // reported I/O is the delta of `ctx`'s counters across the whole
+        // call, preserving the previous single-shot semantics.
+        let before = ctx.stats();
+        let prepared = self.prepare_file(ctx, objects)?;
+        let run = prepared.run(query)?;
+        Ok(QueryRun {
+            io: ctx.stats().since(&before),
+            ..run
+        })
     }
 
     /// Solves a MaxRS query over an in-memory object slice: shorthand for
@@ -340,58 +343,62 @@ impl MaxRsEngine {
         self.run_file(ctx, objects, &Query::MaxRs { size })
             .map(engine_run_of)
     }
+}
 
-    /// Runs a query externally: one distribution-sweep pass for MaxRS /
-    /// MinRS / ApproxMaxCRS, suppression rounds for top-k.
-    fn run_external(
-        &self,
-        ctx: &EmContext,
-        objects: &TupleFile<ObjectRecord>,
-        query: &Query,
-        strategy: ExecutionStrategy,
-        workers: usize,
-    ) -> Result<QueryRun> {
-        let exact_opts = ExactMaxRsOptions {
-            parallelism: if strategy == ExecutionStrategy::ExternalParallel {
-                workers
-            } else {
-                1
-            },
-            ..self.opts.exact
-        };
-        // Report what actually runs: even a forced ExternalParallel degrades
-        // to the sequential sweep when the buffer-size cap leaves one worker
-        // (see `ExactMaxRsOptions::effective_parallelism`), and the run must
-        // say so rather than echo the request.
-        let actual_workers = exact_opts.effective_parallelism(ctx.config());
-        let actual_strategy = if actual_workers > 1 {
-            ExecutionStrategy::ExternalParallel
+/// Runs a query externally over an object file **already sorted by x** (the
+/// retained file of a [`PreparedDataset`](crate::PreparedDataset)): one
+/// sort-free distribution-sweep pass for MaxRS / MinRS / ApproxMaxCRS,
+/// suppression rounds for top-k (each round's filter preserves the x-order,
+/// so no round ever sorts).  Reports I/O as the delta of `ctx`'s counters
+/// across the query.
+pub(crate) fn run_external_presorted(
+    ctx: &EmContext,
+    sorted: &TupleFile<ObjectRecord>,
+    query: &Query,
+    strategy: ExecutionStrategy,
+    workers: usize,
+    base: &ExactMaxRsOptions,
+) -> Result<QueryRun> {
+    let exact_opts = ExactMaxRsOptions {
+        parallelism: if strategy == ExecutionStrategy::ExternalParallel {
+            workers
         } else {
-            ExecutionStrategy::ExternalSequential
-        };
-        let before = ctx.stats();
-        let answer = match *query {
-            Query::MaxRs { size } => {
-                QueryAnswer::MaxRs(exact_max_rs(ctx, objects, size, &exact_opts)?)
-            }
-            Query::TopK { size, k } => {
-                QueryAnswer::TopK(top_k_external(ctx, objects, size, k, &exact_opts)?)
-            }
-            Query::MinRs { size, domain } => {
-                QueryAnswer::MinRs(min_rs_external(ctx, objects, size, domain, &exact_opts)?)
-            }
-            Query::ApproxMaxCrs { diameter, .. } => {
-                let sigma = query.sigma_fraction().expect("approx variant has a sigma");
-                QueryAnswer::MaxCrs(approx_external(ctx, objects, diameter, sigma, &exact_opts)?)
-            }
-        };
-        Ok(QueryRun {
-            answer,
-            strategy: actual_strategy,
-            workers: actual_workers,
-            io: ctx.stats().since(&before),
-        })
-    }
+            1
+        },
+        ..*base
+    };
+    // Report what actually runs: even a forced ExternalParallel degrades
+    // to the sequential sweep when the buffer-size cap leaves one worker
+    // (see `ExactMaxRsOptions::effective_parallelism`), and the run must
+    // say so rather than echo the request.
+    let actual_workers = exact_opts.effective_parallelism(ctx.config());
+    let actual_strategy = if actual_workers > 1 {
+        ExecutionStrategy::ExternalParallel
+    } else {
+        ExecutionStrategy::ExternalSequential
+    };
+    let before = ctx.stats();
+    let answer = match *query {
+        Query::MaxRs { size } => {
+            QueryAnswer::MaxRs(exact_max_rs_presorted(ctx, sorted, size, &exact_opts)?)
+        }
+        Query::TopK { size, k } => {
+            QueryAnswer::TopK(top_k_external(ctx, sorted, size, k, &exact_opts)?)
+        }
+        Query::MinRs { size, domain } => {
+            QueryAnswer::MinRs(min_rs_external(ctx, sorted, size, domain, &exact_opts)?)
+        }
+        Query::ApproxMaxCrs { diameter, .. } => {
+            let sigma = query.sigma_fraction().expect("approx variant has a sigma");
+            QueryAnswer::MaxCrs(approx_external(ctx, sorted, diameter, sigma, &exact_opts)?)
+        }
+    };
+    Ok(QueryRun {
+        answer,
+        strategy: actual_strategy,
+        workers: actual_workers,
+        io: ctx.stats().since(&before),
+    })
 }
 
 /// Converts a MaxRS-variant [`QueryRun`] into the narrower [`EngineRun`].
@@ -408,7 +415,7 @@ fn engine_run_of(run: QueryRun) -> EngineRun {
 }
 
 /// Answers a (validated) query with the in-memory reference algorithms.
-fn answer_in_memory(objects: &[WeightedPoint], query: &Query) -> QueryAnswer {
+pub(crate) fn answer_in_memory(objects: &[WeightedPoint], query: &Query) -> QueryAnswer {
     match *query {
         Query::MaxRs { size } => QueryAnswer::MaxRs(max_rs_in_memory(objects, size)),
         Query::TopK { size, k } => QueryAnswer::TopK(max_k_rs_in_memory(objects, size, k)),
@@ -431,6 +438,10 @@ fn answer_in_memory(objects: &[WeightedPoint], query: &Query) -> QueryAnswer {
 /// [`max_k_rs_in_memory`]'s `retain`, and the same answers: round `r` sees
 /// exactly the objects the in-memory greedy sees, because canonical
 /// max-regions make every round's center strategy-independent.
+///
+/// The input must be sorted by x; the suppression filter preserves that
+/// order, so *no* round pays an external sort
+/// ([`exact_max_rs_presorted`] throughout).
 fn top_k_external(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
@@ -448,7 +459,7 @@ fn top_k_external(
             if remaining.is_empty() {
                 break;
             }
-            let best = exact_max_rs(ctx, remaining, size, opts)?;
+            let best = exact_max_rs_presorted(ctx, remaining, size, opts)?;
             if best.total_weight <= 0.0 {
                 break;
             }
@@ -479,7 +490,8 @@ fn top_k_external(
 /// External MinRS: a weight-negated distribution sweep over the domain's
 /// x-slab, followed by the same domain-clipped strip scan as
 /// [`min_rs_in_memory`] — streamed over the final slab-file instead of an
-/// in-memory tuple list.
+/// in-memory tuple list.  The input must be sorted by x, so the negated
+/// rectangle file is already in center-x order and the sweep runs sort-free.
 fn min_rs_external(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
@@ -500,14 +512,16 @@ fn min_rs_external(
         // report.  Delegate to the in-memory reference after one scan: its
         // 1D segment sweep needs the stabbed intervals, whose count the EM
         // model does not bound by M.  Acceptable for this corner case, and
-        // exact parity with `min_rs_in_memory` by construction.
+        // exact parity with `min_rs_in_memory` by construction (the slice
+        // arrives in x-sorted rather than insertion order, which the sweep's
+        // own event sort makes irrelevant).
         let records = ctx.read_all(objects)?;
         let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
         return Ok(min_rs_in_memory(&points, size, domain));
     }
     let slab = Interval::new(domain.x_lo, domain.x_hi);
     let rects = transform_to_scaled_rect_file(ctx, objects, size, -1.0)?;
-    let slab_file = distribution_sweep(ctx, rects, slab, opts)?;
+    let slab_file = distribution_sweep_presorted(ctx, rects, slab, opts)?;
 
     // The same strip scan as `min_rs_in_memory` — one shared implementation
     // (see `extensions::min_strip_scan`), here streamed over the final
@@ -573,9 +587,10 @@ fn min_rs_external(
 }
 
 /// External ApproxMaxCRS (Algorithm 3) with an engine-supplied σ: exactly
-/// [`approx_max_crs`] — the MBR transform *is* the MaxRS transform with a
-/// `d × d` square, so the full EM slab pipeline (and its parallel stage) is
-/// reused verbatim, followed by the 5-candidate refinement in one scan.
+/// [`approx_max_crs_presorted`] — the MBR transform *is* the MaxRS transform
+/// with a `d × d` square, so the full sort-free EM slab pipeline (and its
+/// parallel stage) is reused verbatim, followed by the 5-candidate refinement
+/// in one scan.
 fn approx_external(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
@@ -583,7 +598,7 @@ fn approx_external(
     sigma_fraction: f64,
     opts: &ExactMaxRsOptions,
 ) -> Result<MaxCrsResult> {
-    approx_max_crs(
+    approx_max_crs_presorted(
         ctx,
         objects,
         diameter,
@@ -597,6 +612,7 @@ fn approx_external(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::load_objects;
     use crate::reference::rect_objective;
 
     fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
@@ -608,7 +624,13 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
-            .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 4.0).floor()))
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * extent,
+                    next() * extent,
+                    1.0 + (next() * 4.0).floor(),
+                )
+            })
             .collect()
     }
 
@@ -687,7 +709,10 @@ mod tests {
                 force_strategy: forced,
             });
             let run = engine.solve(&objects, size).unwrap();
-            assert_eq!(run.result.total_weight, reference.total_weight, "{forced:?}");
+            assert_eq!(
+                run.result.total_weight, reference.total_weight,
+                "{forced:?}"
+            );
             assert_eq!(
                 rect_objective(&objects, run.result.center, size),
                 run.result.total_weight,
@@ -709,7 +734,9 @@ mod tests {
         let engine = MaxRsEngine::with_em_config(em_config);
         let ctx = EmContext::new(em_config);
         let file = load_objects(&ctx, &objects).unwrap();
-        let run = engine.solve_file(&ctx, &file, RectSize::square(100.0)).unwrap();
+        let run = engine
+            .solve_file(&ctx, &file, RectSize::square(100.0))
+            .unwrap();
         assert!(run.io.total() > 0);
         assert_eq!(
             rect_objective(&objects, run.result.center, RectSize::square(100.0)),
@@ -732,14 +759,28 @@ mod tests {
         let objects = pseudo_random_objects(10, 3, 100.0);
         for query in [
             Query::MaxRs {
-                size: RectSize { width: -1.0, height: 2.0 },
+                size: RectSize {
+                    width: -1.0,
+                    height: 2.0,
+                },
             },
-            Query::ApproxMaxCrs { diameter: 0.0, epsilon: 0.5 },
-            Query::ApproxMaxCrs { diameter: 5.0, epsilon: 1.0 },
+            Query::ApproxMaxCrs {
+                diameter: 0.0,
+                epsilon: 0.5,
+            },
+            Query::ApproxMaxCrs {
+                diameter: 5.0,
+                epsilon: 1.0,
+            },
             // Inverted domain: must come back as an error, not a clamp panic.
             Query::MinRs {
                 size: RectSize::square(1.0),
-                domain: Rect { x_lo: 5.0, x_hi: 1.0, y_lo: 0.0, y_hi: 1.0 },
+                domain: Rect {
+                    x_lo: 5.0,
+                    x_hi: 1.0,
+                    y_lo: 0.0,
+                    y_hi: 1.0,
+                },
             },
         ] {
             assert!(engine.run(&objects, &query).is_err(), "{query:?}");
@@ -760,13 +801,11 @@ mod tests {
             force_strategy: Some(ExecutionStrategy::ExternalSequential),
         });
         for domain in [
-            Rect::new(50.0, 50.0, 50.0, 50.0),  // point
-            Rect::new(50.0, 50.0, 0.0, 100.0),  // vertical segment
-            Rect::new(0.0, 100.0, 50.0, 50.0),  // horizontal segment
+            Rect::new(50.0, 50.0, 50.0, 50.0), // point
+            Rect::new(50.0, 50.0, 0.0, 100.0), // vertical segment
+            Rect::new(0.0, 100.0, 50.0, 50.0), // horizontal segment
         ] {
-            let run = engine
-                .run(&objects, &Query::min_rs(size, domain))
-                .unwrap();
+            let run = engine.run(&objects, &Query::min_rs(size, domain)).unwrap();
             let want = min_rs_in_memory(&objects, size, domain);
             assert_eq!(run.answer.as_max_rs().unwrap(), &want, "{domain:?}");
         }

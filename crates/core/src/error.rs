@@ -55,7 +55,9 @@ mod tests {
         assert!(CoreError::InvalidParameter("bad width".into())
             .to_string()
             .contains("bad width"));
-        assert!(CoreError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(CoreError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
         use std::error::Error;
         assert!(e.source().is_some());
         assert!(CoreError::Internal("x".into()).source().is_none());

@@ -176,12 +176,67 @@ pub fn distribution_sweep(
 ) -> Result<TupleFile<SlabTuple>> {
     let sorted = external_sort_by_key(ctx, &rects, |r| r.center_x())?;
     ctx.delete_file(rects)?;
+    distribution_sweep_presorted(ctx, sorted, root, opts)
+}
+
+/// [`distribution_sweep`] without its leading external sort: the input must
+/// already be ordered by center x.
+///
+/// This is the fast path of [`PreparedDataset`](crate::PreparedDataset):
+/// transformed rectangles are centered at their objects, so an object file
+/// sorted by x yields — for *every* query size — a rectangle file already in
+/// center-x order, and repeated queries over a prepared dataset skip the
+/// `O((N/B) log_{M/B}(N/B))` sort entirely, leaving the `O(N/B)`-per-level
+/// sweep as the only cost.  The input file is consumed.
+pub fn distribution_sweep_presorted(
+    ctx: &EmContext,
+    sorted: TupleFile<RectRecord>,
+    root: Interval,
+    opts: &ExactMaxRsOptions,
+) -> Result<TupleFile<SlabTuple>> {
     let runner = Runner {
         ctx,
         opts: *opts,
         workers: opts.effective_parallelism(ctx.config()),
     };
     runner.solve(sorted, root, true)
+}
+
+/// Sorts an object file by object x with the external merge sort — the
+/// one-time preprocessing retained by
+/// [`PreparedDataset`](crate::PreparedDataset).
+///
+/// The MaxRS transform centers every rectangle at its object, so x-order of
+/// the objects is center-x order of the transformed rectangles regardless of
+/// the query's rectangle size; one sort therefore serves every subsequent
+/// [`Query`](crate::Query) variant.  The input file is left untouched.
+pub fn sort_objects_by_x(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+) -> Result<TupleFile<ObjectRecord>> {
+    external_sort_by_key(ctx, objects, |r| r.0.point.x).map_err(CoreError::from)
+}
+
+/// [`exact_max_rs`] over an object file already sorted by x (see
+/// [`sort_objects_by_x`]): the transform stays, the external sort is skipped.
+///
+/// Answers are bit-identical to [`exact_max_rs`] on the same multiset of
+/// objects — the canonical max-region widening (module docs) makes the
+/// result independent of how the sweep's input was ordered or partitioned.
+pub fn exact_max_rs_presorted(
+    ctx: &EmContext,
+    sorted_objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    opts: &ExactMaxRsOptions,
+) -> Result<MaxRsResult> {
+    if sorted_objects.is_empty() {
+        return Ok(MaxRsResult::empty());
+    }
+    let rects = transform_to_rect_file(ctx, sorted_objects, size)?;
+    let final_slab = distribution_sweep_presorted(ctx, rects, Interval::UNBOUNDED, opts)?;
+    let result = extract_best(ctx, &final_slab)?;
+    ctx.delete_file(final_slab)?;
+    widen_to_arrangement_cell(ctx, sorted_objects, size, Interval::UNBOUNDED, result)
 }
 
 /// The smallest x-arrangement breakpoint strictly greater than `x`: the edge
@@ -257,10 +312,7 @@ pub fn exact_max_rs_from_objects(
 }
 
 /// Writes a slice of weighted points as an object file in the EM context.
-pub fn load_objects(
-    ctx: &EmContext,
-    objects: &[WeightedPoint],
-) -> Result<TupleFile<ObjectRecord>> {
+pub fn load_objects(ctx: &EmContext, objects: &[WeightedPoint]) -> Result<TupleFile<ObjectRecord>> {
     let mut writer = ctx.create_writer::<ObjectRecord>()?;
     for o in objects {
         writer.push(&ObjectRecord(*o))?;
@@ -360,7 +412,8 @@ impl<'a> Runner<'a> {
         // including the span events — so a failed run leaves no orphans on a
         // long-lived context.
         let workers = self.workers.min(partition.num_slabs());
-        let merge_result = self.conquer_and_combine(dist.slab_inputs, &partition, &dist.span_events, workers, n);
+        let merge_result =
+            self.conquer_and_combine(dist.slab_inputs, &partition, &dist.span_events, workers, n);
         let merged = match merge_result {
             Ok(merged) => merged,
             Err(e) => {
@@ -397,7 +450,9 @@ impl<'a> Runner<'a> {
             slab_inputs
                 .into_iter()
                 .enumerate()
-                .map(|(i, child_input)| self.solve_child(child_input, partition.slab(i), parent_size))
+                .map(|(i, child_input)| {
+                    self.solve_child(child_input, partition.slab(i), parent_size)
+                })
                 .collect()
         };
 
@@ -553,9 +608,8 @@ mod tests {
     #[test]
     fn empty_dataset() {
         let ctx = roomy_ctx();
-        let r =
-            exact_max_rs_from_objects(&ctx, &[], RectSize::square(10.0), &Default::default())
-                .unwrap();
+        let r = exact_max_rs_from_objects(&ctx, &[], RectSize::square(10.0), &Default::default())
+            .unwrap();
         assert_eq!(r.total_weight, 0.0);
     }
 
@@ -563,13 +617,9 @@ mod tests {
     fn single_object() {
         let ctx = roomy_ctx();
         let objects = vec![WeightedPoint::at(100.0, 200.0, 7.0)];
-        let r = exact_max_rs_from_objects(
-            &ctx,
-            &objects,
-            RectSize::square(10.0),
-            &Default::default(),
-        )
-        .unwrap();
+        let r =
+            exact_max_rs_from_objects(&ctx, &objects, RectSize::square(10.0), &Default::default())
+                .unwrap();
         assert_eq!(r.total_weight, 7.0);
         assert_eq!(
             rect_objective(&objects, r.center, RectSize::square(10.0)),
@@ -582,7 +632,8 @@ mod tests {
         let ctx = roomy_ctx();
         let objects = pseudo_random_objects(300, 42, 1000.0);
         let size = RectSize::new(120.0, 80.0);
-        let external = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+        let external =
+            exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
         let internal = max_rs_in_memory(&objects, size);
         assert_eq!(external.total_weight, internal.total_weight);
         assert_eq!(
@@ -597,7 +648,8 @@ mod tests {
         let ctx = tiny_ctx();
         let objects = pseudo_random_objects(400, 7, 500.0);
         let size = RectSize::square(60.0);
-        let external = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
+        let external =
+            exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();
         let internal = max_rs_in_memory(&objects, size);
         assert_eq!(external.total_weight, internal.total_weight);
         assert_eq!(
@@ -672,7 +724,11 @@ mod tests {
         let mut objects = pseudo_random_objects(200, 11, 1000.0);
         // Heavy cluster far away from the noise.
         for i in 0..5 {
-            objects.push(WeightedPoint::at(5000.0 + i as f64, 5000.0 + i as f64, 100.0));
+            objects.push(WeightedPoint::at(
+                5000.0 + i as f64,
+                5000.0 + i as f64,
+                100.0,
+            ));
         }
         let size = RectSize::square(50.0);
         let r = exact_max_rs_from_objects(&ctx, &objects, size, &Default::default()).unwrap();

@@ -40,17 +40,21 @@ where
     I: IntoIterator<Item = Result<SlabTuple>>,
 {
     let mut best: Option<MinStrip> = None;
-    let consider =
-        |sum: f64, x: Interval, y_lo: f64, y_hi: f64, from_tuple: bool, best: &mut Option<MinStrip>| {
-            let y_lo = y_lo.max(domain.y_lo);
-            let y_hi = y_hi.min(domain.y_hi);
-            if y_lo >= y_hi {
-                return;
-            }
-            if best.as_ref().is_none_or(|(b, _, _, _)| sum > *b) {
-                *best = Some((sum, x, Interval::new(y_lo, y_hi), from_tuple));
-            }
-        };
+    let consider = |sum: f64,
+                    x: Interval,
+                    y_lo: f64,
+                    y_hi: f64,
+                    from_tuple: bool,
+                    best: &mut Option<MinStrip>| {
+        let y_lo = y_lo.max(domain.y_lo);
+        let y_hi = y_hi.min(domain.y_hi);
+        if y_lo >= y_hi {
+            return;
+        }
+        if best.as_ref().is_none_or(|(b, _, _, _)| sum > *b) {
+            *best = Some((sum, x, Interval::new(y_lo, y_hi), from_tuple));
+        }
+    };
     let mut prev_y = f64::NEG_INFINITY;
     let mut prev: Option<(f64, Interval, bool)> = Some((0.0, slab, false));
     for t in tuples {
@@ -73,11 +77,7 @@ where
 /// so later placements never re-count them; rounds stop early once no object
 /// remains.  Ties follow the underlying MaxRS tie-breaking (leftmost /
 /// bottom-most max-region).
-pub fn max_k_rs_in_memory(
-    objects: &[WeightedPoint],
-    size: RectSize,
-    k: usize,
-) -> Vec<MaxRsResult> {
+pub fn max_k_rs_in_memory(objects: &[WeightedPoint], size: RectSize, k: usize) -> Vec<MaxRsResult> {
     let mut remaining: Vec<WeightedPoint> = objects.to_vec();
     // At most one placement per object exists, so a huge k must not
     // pre-allocate k slots.
@@ -272,7 +272,10 @@ mod tests {
     use crate::reference::rect_objective;
 
     fn units(points: &[(f64, f64)]) -> Vec<WeightedPoint> {
-        points.iter().map(|&(x, y)| WeightedPoint::unit(x, y)).collect()
+        points
+            .iter()
+            .map(|&(x, y)| WeightedPoint::unit(x, y))
+            .collect()
     }
 
     #[test]
@@ -325,7 +328,10 @@ mod tests {
         let domain = Rect::new(-5.0, 5.0, -5.0, 5.0);
         let r = min_rs_in_memory(&objects, RectSize::square(1.0), domain);
         assert_eq!(r.total_weight, 0.0);
-        assert_eq!(rect_objective(&objects, r.center, RectSize::square(1.0)), 0.0);
+        assert_eq!(
+            rect_objective(&objects, r.center, RectSize::square(1.0)),
+            0.0
+        );
         assert!(domain.contains_closed(&r.center));
         assert_eq!(min_range_sum(&objects, RectSize::square(1.0), domain), 0.0);
     }
@@ -345,7 +351,10 @@ mod tests {
         let size = RectSize::square(3.1);
         let domain = Rect::new(2.0, 7.0, 2.0, 7.0);
         let r = min_rs_in_memory(&objects, size, domain);
-        assert!(r.total_weight >= 1.0, "interior windows always cover objects");
+        assert!(
+            r.total_weight >= 1.0,
+            "interior windows always cover objects"
+        );
         assert_eq!(rect_objective(&objects, r.center, size), r.total_weight);
         assert!(domain.contains_closed(&r.center));
         // The minimum must not sit on the heavy corner.
@@ -386,8 +395,9 @@ mod tests {
         // Weight 0 is the smallest weight `WeightedPoint` admits (negative
         // object weights are rejected by its constructor); a zero-weight
         // placement is "no placement" and the greedy loop must not spin on it.
-        let objects: Vec<WeightedPoint> =
-            (0..5).map(|i| WeightedPoint::at(i as f64, 0.0, 0.0)).collect();
+        let objects: Vec<WeightedPoint> = (0..5)
+            .map(|i| WeightedPoint::at(i as f64, 0.0, 0.0))
+            .collect();
         assert!(max_k_rs_in_memory(&objects, RectSize::square(1.0), 3).is_empty());
     }
 
@@ -402,7 +412,10 @@ mod tests {
         assert_eq!(first.len(), 2);
         assert_eq!(first[0].total_weight, 2.0);
         assert_eq!(first[1].total_weight, 2.0);
-        assert!(first[0].center.x < 50.0, "tie must resolve to the left cluster");
+        assert!(
+            first[0].center.x < 50.0,
+            "tie must resolve to the left cluster"
+        );
         assert!(first[1].center.x > 50.0);
         for _ in 0..3 {
             assert_eq!(max_k_rs_in_memory(&objects, size, 2), first);
@@ -448,8 +461,9 @@ mod tests {
 
     #[test]
     fn min_rs_with_all_zero_weights_is_zero_everywhere() {
-        let objects: Vec<WeightedPoint> =
-            (0..9).map(|i| WeightedPoint::at((i % 3) as f64, (i / 3) as f64, 0.0)).collect();
+        let objects: Vec<WeightedPoint> = (0..9)
+            .map(|i| WeightedPoint::at((i % 3) as f64, (i / 3) as f64, 0.0))
+            .collect();
         let domain = Rect::new(0.0, 2.0, 0.0, 2.0);
         let r = min_rs_in_memory(&objects, RectSize::square(1.5), domain);
         assert_eq!(r.total_weight, 0.0);

@@ -26,7 +26,11 @@ impl UniformGrid {
             points.push(o.point);
             cells.entry(Self::key(o.point, cell)).or_default().push(i);
         }
-        UniformGrid { cell, cells, points }
+        UniformGrid {
+            cell,
+            cells,
+            points,
+        }
     }
 
     fn key(p: Point, cell: f64) -> (i64, i64) {
@@ -93,7 +97,11 @@ mod tests {
         let objects = objects();
         let grid = UniformGrid::build(&objects, 2.5);
         for &radius in &[0.5, 2.0, 10.0, 200.0] {
-            for &q in &[Point::new(0.0, 0.0), Point::new(4.0, 4.0), Point::new(-10.0, -10.0)] {
+            for &q in &[
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 4.0),
+                Point::new(-10.0, -10.0),
+            ] {
                 let mut got = grid.neighbors_within(q, radius);
                 got.sort_unstable();
                 let mut expected: Vec<usize> = objects
@@ -118,7 +126,10 @@ mod tests {
 
     #[test]
     fn negative_coordinates_round_to_correct_cells() {
-        let objects = vec![WeightedPoint::unit(-0.1, -0.1), WeightedPoint::unit(0.1, 0.1)];
+        let objects = vec![
+            WeightedPoint::unit(-0.1, -0.1),
+            WeightedPoint::unit(0.1, 0.1),
+        ];
         let grid = UniformGrid::build(&objects, 1.0);
         assert_eq!(grid.occupied_cells(), 2);
         let n = grid.neighbors_within(Point::new(0.0, 0.0), 0.5);

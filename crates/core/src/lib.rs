@@ -18,7 +18,10 @@
 //!   modules,
 //! * [`MaxRsEngine`] — a facade that auto-selects between the in-memory
 //!   sweep, the sequential external sweep and the **parallel slab stage**
-//!   from the dataset size, the memory budget and the core count.
+//!   from the dataset size, the memory budget and the core count,
+//! * [`PreparedDataset`] — sort-once repeated querying: one external x-sort
+//!   at [`MaxRsEngine::prepare`] time serves every subsequent [`Query`]
+//!   variant sort-free ([`crate::prepared`]).
 //!
 //! The external-memory algorithms run against a [`maxrs_em::EmContext`], which
 //! simulates a block device with a bounded buffer pool and counts every block
@@ -94,6 +97,7 @@ pub mod grid;
 pub mod merge_sweep;
 pub mod parallel;
 pub mod plane_sweep;
+pub mod prepared;
 pub mod query;
 pub mod records;
 pub mod reference;
@@ -101,6 +105,7 @@ mod result;
 pub mod segment_tree;
 pub mod slab;
 
+pub use approx::approx_max_crs_presorted;
 pub use approx::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, candidate_points,
     ApproxMaxCrsOptions, SIGMA_FRACTION_LO,
@@ -109,11 +114,10 @@ pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, Result};
 pub use exact::{
-    distribution_sweep, exact_max_rs, exact_max_rs_from_objects, load_objects,
-    next_breakpoint_after, transform_to_rect_file, transform_to_scaled_rect_file,
-    ExactMaxRsOptions,
+    distribution_sweep, distribution_sweep_presorted, exact_max_rs, exact_max_rs_from_objects,
+    exact_max_rs_presorted, load_objects, next_breakpoint_after, sort_objects_by_x,
+    transform_to_rect_file, transform_to_scaled_rect_file, ExactMaxRsOptions,
 };
-pub use query::{Query, QueryAnswer, QueryRun};
 pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
 pub use grid::UniformGrid;
 pub use merge_sweep::{merge_sweep, merge_sweep_tree};
@@ -121,6 +125,8 @@ pub use parallel::{available_parallelism, parallel_map};
 pub use plane_sweep::{
     best_region_from_tuples, max_rs_in_memory, plane_sweep_slab, transform_objects,
 };
+pub use prepared::PreparedDataset;
+pub use query::{Query, QueryAnswer, QueryRun};
 pub use records::{ObjectRecord, RectRecord, SlabTuple, SpanEvent};
 pub use reference::{brute_force_max_crs, brute_force_max_rs, circle_objective, rect_objective};
 pub use result::{MaxCrsResult, MaxRsResult};

@@ -268,8 +268,7 @@ pub fn merge_sweep_tree(
     }
 
     // ---- Execute the merges level by level, pairs in parallel --------------
-    let mut files: Vec<Option<TupleFile<SlabTuple>>> =
-        slab_files.into_iter().map(Some).collect();
+    let mut files: Vec<Option<TupleFile<SlabTuple>>> = slab_files.into_iter().map(Some).collect();
     files.resize_with(arena.len(), || None);
     let interval_of = |arena: &[ReduceNode], v: usize| -> Interval {
         Interval::new(slabs[arena[v].lo].lo, slabs[arena[v].hi].hi)
@@ -523,8 +522,7 @@ mod tests {
         let flat_tuples = ctx.read_all(&flat).unwrap();
 
         for workers in [1, 2, 4] {
-            let tree =
-                merge_sweep_tree(&ctx, make_files(), &slabs, &span_file, workers).unwrap();
+            let tree = merge_sweep_tree(&ctx, make_files(), &slabs, &span_file, workers).unwrap();
             let tree_tuples = ctx.read_all(&tree).unwrap();
             assert_eq!(tree_tuples, flat_tuples, "workers = {workers}");
             ctx.delete_file(tree).unwrap();
@@ -538,10 +536,16 @@ mod tests {
         let ctx = ctx();
         let slabs = [Interval::new(0.0, 10.0), Interval::new(10.0, 20.0)];
         let files = vec![
-            ctx.write_all(&plane_sweep_slab(&[rect(1.0, 4.0, 0.0, 2.0, 1.0)], slabs[0]))
-                .unwrap(),
-            ctx.write_all(&plane_sweep_slab(&[rect(12.0, 15.0, 1.0, 3.0, 1.0)], slabs[1]))
-                .unwrap(),
+            ctx.write_all(&plane_sweep_slab(
+                &[rect(1.0, 4.0, 0.0, 2.0, 1.0)],
+                slabs[0],
+            ))
+            .unwrap(),
+            ctx.write_all(&plane_sweep_slab(
+                &[rect(12.0, 15.0, 1.0, 3.0, 1.0)],
+                slabs[1],
+            ))
+            .unwrap(),
         ];
         let spans = ctx.write_all::<SpanEvent>(&[]).unwrap();
         let files_before = ctx.num_files();

@@ -171,7 +171,10 @@ mod tests {
     use crate::reference::{brute_force_max_rs, rect_objective};
 
     fn units(points: &[(f64, f64)]) -> Vec<WeightedPoint> {
-        points.iter().map(|&(x, y)| WeightedPoint::unit(x, y)).collect()
+        points
+            .iter()
+            .map(|&(x, y)| WeightedPoint::unit(x, y))
+            .collect()
     }
 
     #[test]
@@ -183,7 +186,10 @@ mod tests {
         let objects = units(&[(3.0, 4.0)]);
         let r = max_rs_in_memory(&objects, RectSize::square(2.0));
         assert_eq!(r.total_weight, 1.0);
-        assert_eq!(rect_objective(&objects, r.center, RectSize::square(2.0)), 1.0);
+        assert_eq!(
+            rect_objective(&objects, r.center, RectSize::square(2.0)),
+            1.0
+        );
     }
 
     #[test]
@@ -285,8 +291,7 @@ mod tests {
     fn duplicate_coordinates_are_handled() {
         // Many objects at the same location: the sweep must not be confused by
         // duplicate breakpoints or duplicate event ys.
-        let objects: Vec<WeightedPoint> =
-            (0..20).map(|_| WeightedPoint::unit(5.0, 5.0)).collect();
+        let objects: Vec<WeightedPoint> = (0..20).map(|_| WeightedPoint::unit(5.0, 5.0)).collect();
         let r = max_rs_in_memory(&objects, RectSize::square(1.0));
         assert_eq!(r.total_weight, 20.0);
         assert_eq!(

@@ -270,45 +270,105 @@ mod tests {
     fn validation_accepts_good_and_rejects_bad_parameters() {
         assert!(Query::max_rs(RectSize::square(2.0)).validate().is_ok());
         assert!(Query::top_k(RectSize::new(1.0, 3.0), 0).validate().is_ok());
-        assert!(Query::min_rs(RectSize::square(1.0), Rect::new(0.0, 1.0, 0.0, 1.0))
-            .validate()
-            .is_ok());
+        assert!(
+            Query::min_rs(RectSize::square(1.0), Rect::new(0.0, 1.0, 0.0, 1.0))
+                .validate()
+                .is_ok()
+        );
         assert!(Query::approx_max_crs(5.0).validate().is_ok());
 
         // Invalid extents are constructed literally: `RectSize::new` itself
         // debug-asserts positivity, `Query::validate` is the checked path.
-        assert!(Query::max_rs(RectSize { width: 0.0, height: 1.0 }).validate().is_err());
-        assert!(Query::max_rs(RectSize { width: f64::INFINITY, height: 1.0 })
-            .validate()
-            .is_err());
-        assert!(Query::top_k(RectSize { width: 1.0, height: f64::NAN }, 3)
-            .validate()
-            .is_err());
+        assert!(Query::max_rs(RectSize {
+            width: 0.0,
+            height: 1.0
+        })
+        .validate()
+        .is_err());
+        assert!(Query::max_rs(RectSize {
+            width: f64::INFINITY,
+            height: 1.0
+        })
+        .validate()
+        .is_err());
+        assert!(Query::top_k(
+            RectSize {
+                width: 1.0,
+                height: f64::NAN
+            },
+            3
+        )
+        .validate()
+        .is_err());
         // Inverted or NaN MinRS domains are rejected before they can reach
         // the sweep (which would otherwise panic on Interval::new / clamp).
-        assert!(Query::min_rs(RectSize::square(1.0), Rect { x_lo: 5.0, x_hi: 1.0, y_lo: 0.0, y_hi: 1.0 })
-            .validate()
-            .is_err());
-        assert!(Query::min_rs(RectSize::square(1.0), Rect { x_lo: 0.0, x_hi: 1.0, y_lo: 2.0, y_hi: 1.0 })
-            .validate()
-            .is_err());
-        assert!(Query::min_rs(RectSize::square(1.0), Rect { x_lo: f64::NAN, x_hi: 1.0, y_lo: 0.0, y_hi: 1.0 })
-            .validate()
-            .is_err());
+        assert!(Query::min_rs(
+            RectSize::square(1.0),
+            Rect {
+                x_lo: 5.0,
+                x_hi: 1.0,
+                y_lo: 0.0,
+                y_hi: 1.0
+            }
+        )
+        .validate()
+        .is_err());
+        assert!(Query::min_rs(
+            RectSize::square(1.0),
+            Rect {
+                x_lo: 0.0,
+                x_hi: 1.0,
+                y_lo: 2.0,
+                y_hi: 1.0
+            }
+        )
+        .validate()
+        .is_err());
+        assert!(Query::min_rs(
+            RectSize::square(1.0),
+            Rect {
+                x_lo: f64::NAN,
+                x_hi: 1.0,
+                y_lo: 0.0,
+                y_hi: 1.0
+            }
+        )
+        .validate()
+        .is_err());
         // Infinite domains have no well-defined center to report.
         assert!(Query::min_rs(
             RectSize::square(1.0),
-            Rect { x_lo: f64::NEG_INFINITY, x_hi: f64::INFINITY, y_lo: 0.0, y_hi: 1.0 }
+            Rect {
+                x_lo: f64::NEG_INFINITY,
+                x_hi: f64::INFINITY,
+                y_lo: 0.0,
+                y_hi: 1.0
+            }
         )
         .validate()
         .is_err());
         assert!(Query::approx_max_crs(0.0).validate().is_err());
         assert!(Query::approx_max_crs(f64::NAN).validate().is_err());
-        assert!(Query::ApproxMaxCrs { diameter: 1.0, epsilon: 0.0 }.validate().is_err());
-        assert!(Query::ApproxMaxCrs { diameter: 1.0, epsilon: 1.0 }.validate().is_err());
+        assert!(Query::ApproxMaxCrs {
+            diameter: 1.0,
+            epsilon: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Query::ApproxMaxCrs {
+            diameter: 1.0,
+            epsilon: 1.0
+        }
+        .validate()
+        .is_err());
         // Positive but so small that sigma rounds onto the interval's lower
         // endpoint: must be a checked error, not a candidate_points panic.
-        assert!(Query::ApproxMaxCrs { diameter: 1.0, epsilon: 1e-18 }.validate().is_err());
+        assert!(Query::ApproxMaxCrs {
+            diameter: 1.0,
+            epsilon: 1e-18
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -316,14 +376,22 @@ mod tests {
         let lo = SIGMA_FRACTION_LO;
         let mid = Query::approx_max_crs(10.0).sigma_fraction().unwrap();
         assert!((mid - (lo + 0.5 * (0.5 - lo))).abs() < 1e-15);
-        let near_lo = Query::ApproxMaxCrs { diameter: 1.0, epsilon: 1e-6 }
-            .sigma_fraction()
-            .unwrap();
-        let near_hi = Query::ApproxMaxCrs { diameter: 1.0, epsilon: 1.0 - 1e-6 }
-            .sigma_fraction()
-            .unwrap();
+        let near_lo = Query::ApproxMaxCrs {
+            diameter: 1.0,
+            epsilon: 1e-6,
+        }
+        .sigma_fraction()
+        .unwrap();
+        let near_hi = Query::ApproxMaxCrs {
+            diameter: 1.0,
+            epsilon: 1.0 - 1e-6,
+        }
+        .sigma_fraction()
+        .unwrap();
         assert!(lo < near_lo && near_lo < mid && mid < near_hi && near_hi < 0.5);
-        assert!(Query::max_rs(RectSize::square(1.0)).sigma_fraction().is_none());
+        assert!(Query::max_rs(RectSize::square(1.0))
+            .sigma_fraction()
+            .is_none());
     }
 
     #[test]

@@ -278,7 +278,10 @@ mod tests {
 
     #[test]
     fn record_conversions() {
-        let objects = vec![WeightedPoint::at(1.0, 2.0, 3.0), WeightedPoint::at(4.0, 5.0, 6.0)];
+        let objects = vec![
+            WeightedPoint::at(1.0, 2.0, 3.0),
+            WeightedPoint::at(4.0, 5.0, 6.0),
+        ];
         let recs = to_object_records(&objects);
         assert_eq!(recs.len(), 2);
         assert_eq!(to_weighted_points(&recs), objects);

@@ -5,9 +5,7 @@
 //! candidate point per cell of the arrangement of transformed rectangles
 //! (respectively circles), which provably contains an optimal placement.
 
-use maxrs_geometry::{
-    range_sum_circle, range_sum_rect, Point, Rect, RectSize, WeightedPoint,
-};
+use maxrs_geometry::{range_sum_circle, range_sum_rect, Point, Rect, RectSize, WeightedPoint};
 
 use crate::result::{MaxCrsResult, MaxRsResult};
 
@@ -132,7 +130,10 @@ mod tests {
         let objects = vec![WeightedPoint::at(5.0, 5.0, 3.0)];
         let r = brute_force_max_rs(&objects, RectSize::square(2.0));
         assert_eq!(r.total_weight, 3.0);
-        assert_eq!(rect_objective(&objects, r.center, RectSize::square(2.0)), 3.0);
+        assert_eq!(
+            rect_objective(&objects, r.center, RectSize::square(2.0)),
+            3.0
+        );
         let c = brute_force_max_crs(&objects, 2.0);
         assert_eq!(c.total_weight, 3.0);
     }

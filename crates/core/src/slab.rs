@@ -266,7 +266,11 @@ mod tests {
     fn bounded_partition_clamps_to_outer() {
         let p = SlabPartition::new(vec![2.0, 5.0, 9.0]);
         assert_eq!(p.locate(1.0), 0, "values below the outer slab clamp to 0");
-        assert_eq!(p.locate(9.0), 1, "the outer upper bound belongs to the last slab");
+        assert_eq!(
+            p.locate(9.0),
+            1,
+            "the outer upper bound belongs to the last slab"
+        );
         assert_eq!(p.locate(100.0), 1);
     }
 
@@ -316,12 +320,13 @@ mod tests {
     #[test]
     fn distribute_routes_and_crops() {
         let ctx = ctx();
-        let partition = SlabPartition::new(vec![f64::NEG_INFINITY, 10.0, 20.0, 30.0, f64::INFINITY]);
+        let partition =
+            SlabPartition::new(vec![f64::NEG_INFINITY, 10.0, 20.0, 30.0, f64::INFINITY]);
         let rects = vec![
-            rect(1.0, 5.0, 0.0, 1.0, 1.0),    // entirely in slab 0
-            rect(12.0, 18.0, 0.0, 2.0, 2.0),  // entirely in slab 1
-            rect(8.0, 26.0, 1.0, 3.0, 3.0),   // spans boundary 10 and 20: pieces in 0 and 2, spans slab 1
-            rect(15.0, 22.0, 0.0, 1.0, 4.0),  // crosses one boundary: pieces in slabs 1 and 2, no span
+            rect(1.0, 5.0, 0.0, 1.0, 1.0),   // entirely in slab 0
+            rect(12.0, 18.0, 0.0, 2.0, 2.0), // entirely in slab 1
+            rect(8.0, 26.0, 1.0, 3.0, 3.0), // spans boundary 10 and 20: pieces in 0 and 2, spans slab 1
+            rect(15.0, 22.0, 0.0, 1.0, 4.0), // crosses one boundary: pieces in slabs 1 and 2, no span
         ];
         let file = ctx.write_all(&rects).unwrap();
         let dist = distribute(&ctx, &file, &partition).unwrap();
@@ -339,7 +344,9 @@ mod tests {
         // Crops stay inside their slabs.
         for (i, slab) in [slab0, slab1, slab2].iter().enumerate() {
             for r in slab {
-                assert!(r.rect.x_lo >= partition.boundaries[i] || partition.boundaries[i].is_infinite());
+                assert!(
+                    r.rect.x_lo >= partition.boundaries[i] || partition.boundaries[i].is_infinite()
+                );
                 assert!(r.rect.x_hi <= partition.boundaries[i + 1]);
             }
         }

@@ -1,0 +1,149 @@
+//! Backend-parity property test: for random datasets, the filesystem-backed
+//! device ([`FsDisk`] via [`StorageBackend::Fs`]) and the RAM simulation
+//! produce **bit-identical answers and identical logical block-I/O counts**
+//! for all four [`Query`] variants.
+//!
+//! This is the contract that keeps the paper's Table-style I/O measurements
+//! meaningful when the storage backend changes: the EM cost model counts
+//! logical block transfers, and nothing below the [`BlockDevice`] trait may
+//! influence them.
+
+use maxrs_core::{load_objects, EngineOptions, ExactMaxRsOptions, MaxRsEngine, Query};
+use maxrs_em::{EmConfig, EmContext, StorageBackend};
+use maxrs_geometry::{Rect, RectSize, WeightedPoint};
+
+fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            WeightedPoint::at(
+                next() * extent,
+                next() * extent,
+                1.0 + (next() * 4.0).floor(),
+            )
+        })
+        .collect()
+}
+
+/// A tie-heavy grid: coordinates and weights collide massively, the worst
+/// case for any order- or tie-dependent divergence between backends.
+fn grid_objects(n: usize) -> Vec<WeightedPoint> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 37) % 40) as f64 * 100.0;
+            let y = ((i * 61) % 40) as f64 * 100.0;
+            WeightedPoint::at(x, y, 1.0 + (i % 3) as f64)
+        })
+        .collect()
+}
+
+fn engine(config: EmConfig) -> MaxRsEngine {
+    MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions {
+            parallelism: 1,
+            ..Default::default()
+        },
+        force_strategy: None,
+    })
+}
+
+/// Runs every query variant over `objects` on both backends and asserts the
+/// answers and the logical I/O snapshots match exactly.
+fn assert_backend_parity(objects: &[WeightedPoint], size: RectSize, domain: Rect, label: &str) {
+    let base = EmConfig::new(512, 16 * 512).unwrap();
+    let queries = [
+        Query::max_rs(size),
+        Query::top_k(size, 3),
+        Query::min_rs(size, domain),
+        Query::approx_max_crs(size.width),
+    ];
+    for query in &queries {
+        let mut outcomes = Vec::new();
+        for backend in [StorageBackend::Sim, StorageBackend::Fs] {
+            let config = base.with_backend(backend);
+            let ctx = EmContext::new(config);
+            assert_eq!(ctx.backend_name(), backend.name());
+            let file = load_objects(&ctx, objects).unwrap();
+            let run = engine(config).run_file(&ctx, &file, query).unwrap();
+            // Prepared reuse must be backend-invariant too.
+            let prepared = engine(config).prepare_file(&ctx, &file).unwrap();
+            let warm = prepared.run(query).unwrap();
+            assert_eq!(warm.answer, run.answer, "{label}/{}", query.name());
+            drop(prepared);
+            ctx.delete_file(file).unwrap();
+            outcomes.push((run, warm.io));
+        }
+        let (sim, sim_warm) = &outcomes[0];
+        let (fs, fs_warm) = &outcomes[1];
+        assert_eq!(
+            sim.answer,
+            fs.answer,
+            "{label}/{}: answers diverge across backends",
+            query.name()
+        );
+        assert_eq!(sim.strategy, fs.strategy, "{label}/{}", query.name());
+        assert_eq!(
+            sim.io,
+            fs.io,
+            "{label}/{}: logical I/O counts diverge across backends",
+            query.name()
+        );
+        assert_eq!(
+            sim_warm,
+            fs_warm,
+            "{label}/{}: prepared-run I/O diverges across backends",
+            query.name()
+        );
+    }
+}
+
+#[test]
+fn random_datasets_are_backend_invariant() {
+    for (seed, n) in [(11u64, 900), (29, 1500)] {
+        let objects = pseudo_random_objects(n, seed, 50_000.0);
+        assert_backend_parity(
+            &objects,
+            RectSize::square(4_000.0),
+            Rect::new(5_000.0, 45_000.0, 5_000.0, 45_000.0),
+            &format!("seed{seed}"),
+        );
+    }
+}
+
+#[test]
+fn tie_heavy_grid_is_backend_invariant() {
+    let objects = grid_objects(1200);
+    assert_backend_parity(
+        &objects,
+        RectSize::square(450.0),
+        Rect::new(0.0, 4_000.0, 0.0, 4_000.0),
+        "grid",
+    );
+}
+
+#[test]
+fn rectangular_queries_and_small_files_are_backend_invariant() {
+    // Non-square extents plus a dataset small enough that the in-memory
+    // strategy triggers: its scan I/O must match across backends too.
+    let objects = pseudo_random_objects(300, 5, 10_000.0);
+    let base = EmConfig::new(4096, 16 * 4096).unwrap();
+    let query = Query::max_rs(RectSize::new(1_500.0, 600.0));
+    let mut runs = Vec::new();
+    for backend in [StorageBackend::Sim, StorageBackend::Fs] {
+        let config = base.with_backend(backend);
+        let ctx = EmContext::new(config);
+        let file = load_objects(&ctx, &objects).unwrap();
+        let run = engine(config).run_file(&ctx, &file, &query).unwrap();
+        ctx.delete_file(file).unwrap();
+        runs.push(run);
+    }
+    assert_eq!(runs[0].answer, runs[1].answer);
+    assert_eq!(runs[0].io, runs[1].io);
+}

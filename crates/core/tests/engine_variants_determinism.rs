@@ -72,10 +72,18 @@ fn assert_all_strategies_match(objects: &[WeightedPoint], query: &Query, referen
             query.name()
         );
         if force == ExecutionStrategy::ExternalParallel {
-            assert!(run.workers > 1, "{}: parallel run used 1 worker", query.name());
+            assert!(
+                run.workers > 1,
+                "{}: parallel run used 1 worker",
+                query.name()
+            );
         }
         if force != ExecutionStrategy::InMemory {
-            assert!(run.io.total() > 0, "{}: external run did no I/O", query.name());
+            assert!(
+                run.io.total() > 0,
+                "{}: external run did no I/O",
+                query.name()
+            );
         }
         assert_eq!(
             &run.answer,
@@ -108,7 +116,9 @@ fn top_k_is_strategy_independent_on_10k_points() {
     let reference = QueryAnswer::TopK(max_k_rs_in_memory(&objects, size, k));
     if let QueryAnswer::TopK(placements) = &reference {
         assert_eq!(placements.len(), k, "dataset supports k rounds");
-        assert!(placements.windows(2).all(|w| w[0].total_weight >= w[1].total_weight));
+        assert!(placements
+            .windows(2)
+            .all(|w| w[0].total_weight >= w[1].total_weight));
     }
     assert_all_strategies_match(&objects, &Query::top_k(size, k), &reference);
 }
@@ -135,8 +145,7 @@ fn approx_max_crs_is_strategy_independent_on_10k_points() {
             epsilon,
         };
         let sigma = query.sigma_fraction().unwrap();
-        let reference =
-            QueryAnswer::MaxCrs(approx_max_crs_in_memory(&objects, 4_000.0, sigma));
+        let reference = QueryAnswer::MaxCrs(approx_max_crs_in_memory(&objects, 4_000.0, sigma));
         if let QueryAnswer::MaxCrs(r) = &reference {
             assert!(r.total_weight > 0.0);
         }

@@ -55,7 +55,14 @@ fn parallel_and_sequential_results_are_identical() {
             fanout: Some(4),
             ..Default::default()
         };
-        let sequential = run(&objects, size, &ExactMaxRsOptions { parallelism: 1, ..base });
+        let sequential = run(
+            &objects,
+            size,
+            &ExactMaxRsOptions {
+                parallelism: 1,
+                ..base
+            },
+        );
         for workers in [2usize, 3, 8] {
             let parallel = run(
                 &objects,
@@ -108,8 +115,22 @@ fn parallel_path_handles_duplicate_x_coordinates() {
         fanout: Some(4),
         ..Default::default()
     };
-    let sequential = run(&objects, size, &ExactMaxRsOptions { parallelism: 1, ..base });
-    let parallel = run(&objects, size, &ExactMaxRsOptions { parallelism: 4, ..base });
+    let sequential = run(
+        &objects,
+        size,
+        &ExactMaxRsOptions {
+            parallelism: 1,
+            ..base
+        },
+    );
+    let parallel = run(
+        &objects,
+        size,
+        &ExactMaxRsOptions {
+            parallelism: 4,
+            ..base
+        },
+    );
     assert_eq!(parallel, sequential);
 }
 

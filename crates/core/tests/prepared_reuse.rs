@@ -1,0 +1,192 @@
+//! Regression tests for [`PreparedDataset`]: the one-time external x-sort is
+//! genuinely amortized (later queries do **zero** external-sort I/O, proven
+//! with `IoSnapshot` arithmetic against a sort lower bound), answers stay
+//! bit-identical to single-shot engine calls, and the retained sorted file is
+//! RAII-cleaned so `disk_blocks()` returns to its baseline.
+
+use maxrs_core::{
+    load_objects, EngineOptions, ExactMaxRsOptions, MaxRsEngine, ObjectRecord, Query,
+};
+use maxrs_em::{EmConfig, EmContext, Record};
+use maxrs_geometry::{Rect, RectSize, WeightedPoint};
+
+fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            WeightedPoint::at(
+                next() * extent,
+                next() * extent,
+                1.0 + (next() * 4.0).floor(),
+            )
+        })
+        .collect()
+}
+
+/// A small-buffer configuration under which a few thousand objects need a
+/// genuinely multi-pass external sort (16 pool blocks, 341 objects in
+/// memory, fan-out 14).
+fn tiny_config() -> EmConfig {
+    EmConfig::new(512, 16 * 512).unwrap()
+}
+
+fn engine() -> MaxRsEngine {
+    MaxRsEngine::with_options(EngineOptions {
+        em_config: tiny_config(),
+        exact: ExactMaxRsOptions {
+            parallelism: 1,
+            ..Default::default()
+        },
+        force_strategy: None,
+    })
+}
+
+/// Blocks one scan of the object file occupies: the unit of the sort's cost.
+fn object_blocks(config: EmConfig, n: u64) -> u64 {
+    n.div_ceil((config.block_size / ObjectRecord::SIZE) as u64)
+}
+
+#[test]
+fn second_run_performs_zero_external_sort_io() {
+    let config = tiny_config();
+    let objects = pseudo_random_objects(6000, 17, 100_000.0);
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, &objects).unwrap();
+    let engine = engine();
+    let query = Query::max_rs(RectSize::square(8_000.0));
+
+    // Cold single-shot run: pays transform + external sort + sweep.
+    let cold = engine.run_file(&ctx, &file, &query).unwrap();
+
+    // Prepared: the sort is paid once, here, and never again.
+    let prepared = engine.prepare_file(&ctx, &file).unwrap();
+    assert!(prepared.is_external());
+    let first = prepared.run(&query).unwrap();
+    let second = prepared.run(&query).unwrap();
+
+    assert_eq!(first.answer, cold.answer, "prepared answers are identical");
+    assert_eq!(second.answer, cold.answer);
+
+    // The sort's run-formation pass alone reads and writes every object
+    // block once, so any run that sorts costs at least `2 * N/B` more than
+    // one that does not.  The IoSnapshot counters must show the prepared
+    // runs below the cold run by at least that much: zero sort I/O.
+    let sort_floor = 2 * object_blocks(config, file.len());
+    assert!(
+        prepared.prepare_io().total() >= sort_floor,
+        "prepare pays the sort: {} < {sort_floor}",
+        prepared.prepare_io()
+    );
+    for (name, run) in [("first", &first), ("second", &second)] {
+        assert!(run.io.total() > 0, "{name} run does the sweep's I/O");
+        assert!(
+            run.io.total() + sort_floor <= cold.io.total(),
+            "{name} prepared run ({}) must undercut the cold run ({}) by \
+             the sort floor ({sort_floor}): it re-sorted",
+            run.io,
+            cold.io
+        );
+    }
+    // Pool warmth can only help the second run, never hurt it.
+    assert!(second.io.total() <= first.io.total());
+
+    ctx.delete_file(file).unwrap();
+}
+
+#[test]
+fn every_variant_reuses_the_prepared_sort() {
+    let config = tiny_config();
+    let objects = pseudo_random_objects(3000, 41, 50_000.0);
+    let engine = engine();
+    let prepared = engine.prepare(&objects).unwrap();
+    let size = RectSize::square(4_000.0);
+    let domain = Rect::new(5_000.0, 45_000.0, 5_000.0, 45_000.0);
+    let sort_floor = 2 * object_blocks(config, objects.len() as u64);
+
+    for query in [
+        Query::max_rs(size),
+        Query::top_k(size, 2),
+        Query::min_rs(size, domain),
+        Query::approx_max_crs(4_000.0),
+    ] {
+        let warm = prepared.run(&query).unwrap();
+        let cold = engine.run(&objects, &query).unwrap();
+        assert_eq!(warm.answer, cold.answer, "{}", query.name());
+        assert!(
+            warm.io.total() + sort_floor <= cold.io.total(),
+            "{}: warm {} vs cold {} (sort floor {sort_floor})",
+            query.name(),
+            warm.io,
+            cold.io
+        );
+    }
+}
+
+#[test]
+fn dropping_a_prepared_dataset_returns_disk_blocks_to_baseline() {
+    let objects = pseudo_random_objects(4000, 7, 10_000.0);
+    let ctx = EmContext::new(tiny_config());
+    let file = load_objects(&ctx, &objects).unwrap();
+    ctx.flush_all().unwrap();
+    let baseline_blocks = ctx.disk_blocks();
+    let baseline_files = ctx.num_files();
+
+    let engine = engine();
+    {
+        let prepared = engine.prepare_file(&ctx, &file).unwrap();
+        assert!(
+            ctx.disk_blocks() > baseline_blocks,
+            "the retained sorted file occupies blocks"
+        );
+        assert_eq!(ctx.num_files(), baseline_files + 1);
+        // Queries allocate and free their own temporaries.
+        let _ = prepared
+            .run(&Query::max_rs(RectSize::square(500.0)))
+            .unwrap();
+        let _ = prepared
+            .run(&Query::top_k(RectSize::square(500.0), 2))
+            .unwrap();
+    }
+    // RAII: dropping the dataset deleted the sorted file's blocks.
+    assert_eq!(
+        ctx.disk_blocks(),
+        baseline_blocks,
+        "prepared dataset leaked blocks"
+    );
+    assert_eq!(
+        ctx.num_files(),
+        baseline_files,
+        "prepared dataset leaked files"
+    );
+
+    ctx.delete_file(file).unwrap();
+    assert_eq!(ctx.num_files(), 0);
+}
+
+#[test]
+fn repeated_prepares_on_one_context_do_not_accumulate_blocks() {
+    // A long-running engine preparing the same context many times must end
+    // at its baseline: the leak regression this PR's RAII guard prevents.
+    let objects = pseudo_random_objects(2000, 3, 1_000.0);
+    let ctx = EmContext::new(tiny_config());
+    let file = load_objects(&ctx, &objects).unwrap();
+    ctx.flush_all().unwrap();
+    let baseline = ctx.disk_blocks();
+    let engine = engine();
+    for round in 0..5 {
+        let prepared = engine.prepare_file(&ctx, &file).unwrap();
+        let run = prepared
+            .run(&Query::max_rs(RectSize::square(100.0)))
+            .unwrap();
+        assert!(run.io.total() > 0, "round {round}");
+        drop(prepared);
+        assert_eq!(ctx.disk_blocks(), baseline, "round {round} leaked");
+    }
+    ctx.delete_file(file).unwrap();
+}

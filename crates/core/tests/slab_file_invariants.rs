@@ -4,8 +4,8 @@
 
 use maxrs_core::{
     compute_partition, distribute, exact_max_rs, load_objects, max_rs_in_memory, merge_sweep,
-    plane_sweep_slab, transform_objects, transform_to_rect_file, BoundarySource,
-    ExactMaxRsOptions, RectRecord, SlabTuple, SpanEvent,
+    plane_sweep_slab, transform_objects, transform_to_rect_file, BoundarySource, ExactMaxRsOptions,
+    RectRecord, SlabTuple, SpanEvent,
 };
 use maxrs_em::{EmConfig, EmContext};
 use maxrs_geometry::{Interval, RectSize, WeightedPoint};
@@ -19,7 +19,13 @@ fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint>
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     (0..n)
-        .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 2.0).floor()))
+        .map(|_| {
+            WeightedPoint::at(
+                next() * extent,
+                next() * extent,
+                1.0 + (next() * 2.0).floor(),
+            )
+        })
         .collect()
 }
 
@@ -49,7 +55,11 @@ fn slab_file_structural_invariants() {
             "tuples must be strictly y-sorted (one per h-line)"
         );
         assert!(tuples.iter().all(|t| t.sum >= 0.0));
-        assert_eq!(tuples.last().unwrap().sum, 0.0, "above all rectangles the weight is 0");
+        assert_eq!(
+            tuples.last().unwrap().sum,
+            0.0,
+            "above all rectangles the weight is 0"
+        );
         // Every max-interval stays within the slab.
         assert!(tuples
             .iter()
@@ -80,7 +90,10 @@ fn distribution_preserves_coverage() {
     for (i, f) in dist.slab_inputs.iter().enumerate() {
         let slab = dist.partition.slab(i);
         for r in ctx.read_all(f).unwrap() {
-            assert!(r.rect.x_lo >= slab.lo && r.rect.x_hi <= slab.hi, "piece escapes slab {i}");
+            assert!(
+                r.rect.x_lo >= slab.lo && r.rect.x_hi <= slab.hi,
+                "piece escapes slab {i}"
+            );
         }
     }
 
@@ -88,7 +101,11 @@ fn distribution_preserves_coverage() {
     let spans: Vec<SpanEvent> = ctx.read_all(&dist.span_events).unwrap();
     assert!(spans.windows(2).all(|w| w[0].y <= w[1].y));
     let starts = spans.iter().filter(|e| e.is_start).count();
-    assert_eq!(starts * 2, spans.len(), "every spanning rectangle has two events");
+    assert_eq!(
+        starts * 2,
+        spans.len(),
+        "every spanning rectangle has two events"
+    );
 
     // Mass conservation: sum of weight * width * height over the original
     // rectangles equals pieces + spanned slabs.
@@ -136,7 +153,10 @@ fn merge_sweep_output_is_a_valid_slab_file() {
     let tuples: Vec<SlabTuple> = ctx.read_all(&merged).unwrap();
 
     assert!(tuples.windows(2).all(|w| w[0].y < w[1].y));
-    let merged_max = tuples.iter().map(|t| t.sum).fold(f64::NEG_INFINITY, f64::max);
+    let merged_max = tuples
+        .iter()
+        .map(|t| t.sum)
+        .fold(f64::NEG_INFINITY, f64::max);
     let flat = max_rs_in_memory(&objects, size);
     assert_eq!(merged_max, flat.total_weight);
 }
@@ -160,7 +180,10 @@ fn deep_recursion_is_consistent_and_bounded() {
         assert_eq!(result.total_weight, reference.total_weight, "mem={mem}");
         // All temporaries cleaned up: only the object file can remain on disk.
         assert!(
-            ctx.disk_blocks() <= ctx.config().blocks_for::<maxrs_core::ObjectRecord>(file.len()),
+            ctx.disk_blocks()
+                <= ctx
+                    .config()
+                    .blocks_for::<maxrs_core::ObjectRecord>(file.len()),
             "mem={mem}: {} blocks left on disk",
             ctx.disk_blocks()
         );

@@ -22,7 +22,13 @@ fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint>
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     (0..n)
-        .map(|_| WeightedPoint::at(next() * extent, next() * extent, 1.0 + (next() * 4.0).floor()))
+        .map(|_| {
+            WeightedPoint::at(
+                next() * extent,
+                next() * extent,
+                1.0 + (next() * 4.0).floor(),
+            )
+        })
         .collect()
 }
 

@@ -58,8 +58,7 @@ impl DatasetKind {
 }
 
 /// How object weights are assigned.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WeightMode {
     /// Every object has weight 1 (the COUNT setting used by the paper's
     /// experiments).
@@ -72,7 +71,6 @@ pub enum WeightMode {
         max: f64,
     },
 }
-
 
 /// A fully generated dataset.
 #[derive(Debug, Clone)]
@@ -106,7 +104,11 @@ impl Dataset {
                 o.weight = rng.gen_range(1.0..=max.max(1.0));
             }
         }
-        Dataset { kind, seed, objects }
+        Dataset {
+            kind,
+            seed,
+            objects,
+        }
     }
 
     /// Generates the dataset at the exact size used by the paper.

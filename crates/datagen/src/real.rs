@@ -175,7 +175,13 @@ mod tests {
         let ux = occupied_cells(&ux_surrogate(n, 5));
         let ne = occupied_cells(&ne_surrogate(n, 5));
         let uni = occupied_cells(&crate::synthetic::uniform(n, SPACE_EXTENT, 5));
-        assert!(ux < uni, "UX must be more clustered than uniform ({ux} vs {uni})");
-        assert!(ne < uni, "NE must be more clustered than uniform ({ne} vs {uni})");
+        assert!(
+            ux < uni,
+            "UX must be more clustered than uniform ({ux} vs {uni})"
+        );
+        assert!(
+            ne < uni,
+            "NE must be more clustered than uniform ({ne} vs {uni})"
+        );
     }
 }

@@ -13,9 +13,7 @@ pub fn uniform(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
     assert!(extent > 0.0, "extent must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            WeightedPoint::unit(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))
-        })
+        .map(|_| WeightedPoint::unit(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
         .collect()
 }
 

@@ -1,20 +1,68 @@
-//! EM model configuration: block size and buffer (main memory) size.
+//! EM model configuration: block size, buffer (main memory) size and the
+//! storage backend.
 
+use std::sync::OnceLock;
 
 use crate::{EmError, Record, Result};
+
+/// Which [`BlockDevice`](crate::BlockDevice) implementation an
+/// [`EmContext`](crate::EmContext) runs against.
+///
+/// The default comes from the `MAXRS_BACKEND` environment variable (read once
+/// per process): `fs` selects the filesystem backend, anything else — or an
+/// unset variable — the RAM-backed simulation.  This is the knob CI's
+/// backend matrix turns to run the whole test suite against real files.
+/// Logical I/O counts are identical across backends (see
+/// [`BlockDevice`](crate::BlockDevice)), so switching backends never changes
+/// a paper-style measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageBackend {
+    /// RAM-backed [`SimDisk`](crate::SimDisk): deterministic, no filesystem
+    /// interaction, the default.
+    #[default]
+    Sim,
+    /// Filesystem-backed [`FsDisk`](crate::FsDisk): real files under a temp
+    /// directory (or a caller-chosen one via
+    /// [`EmContext::with_device`](crate::EmContext::with_device)).
+    Fs,
+}
+
+impl StorageBackend {
+    /// A short human-readable name ("sim", "fs").
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageBackend::Sim => "sim",
+            StorageBackend::Fs => "fs",
+        }
+    }
+
+    /// The backend selected by the `MAXRS_BACKEND` environment variable
+    /// (`fs` → [`StorageBackend::Fs`], otherwise [`StorageBackend::Sim`]),
+    /// cached after the first read.
+    pub fn from_env() -> Self {
+        static FROM_ENV: OnceLock<StorageBackend> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("MAXRS_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("fs") => StorageBackend::Fs,
+            _ => StorageBackend::Sim,
+        })
+    }
+}
 
 /// Configuration of the external-memory model.
 ///
 /// Mirrors the knobs of the paper's Table 3: the disk *block size* (default
 /// 4 KB) and the *buffer size* — the amount of main memory an algorithm may
 /// use (default 256 KB for the real datasets and 1024 KB for the synthetic
-/// ones).
+/// ones) — plus the [`StorageBackend`] the context's block device uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EmConfig {
     /// Size of one disk block in bytes.
     pub block_size: usize,
     /// Size of the main-memory buffer in bytes.
     pub buffer_bytes: usize,
+    /// Which block-device implementation backs the context (default: from
+    /// `MAXRS_BACKEND`, falling back to the RAM simulation).
+    pub backend: StorageBackend,
 }
 
 impl EmConfig {
@@ -38,7 +86,14 @@ impl EmConfig {
         Ok(EmConfig {
             block_size,
             buffer_bytes,
+            backend: StorageBackend::from_env(),
         })
+    }
+
+    /// The same configuration with an explicit storage backend, overriding
+    /// the `MAXRS_BACKEND` default.
+    pub fn with_backend(self, backend: StorageBackend) -> Self {
+        EmConfig { backend, ..self }
     }
 
     /// The paper's default configuration for synthetic datasets
@@ -47,6 +102,7 @@ impl EmConfig {
         EmConfig {
             block_size: Self::DEFAULT_BLOCK_SIZE,
             buffer_bytes: Self::DEFAULT_BUFFER_BYTES,
+            backend: StorageBackend::from_env(),
         }
     }
 
@@ -56,6 +112,7 @@ impl EmConfig {
         EmConfig {
             block_size: Self::DEFAULT_BLOCK_SIZE,
             buffer_bytes: 256 * 1024,
+            backend: StorageBackend::from_env(),
         }
     }
 
@@ -136,6 +193,18 @@ mod tests {
         assert!(EmConfig::new(0, 4096).is_err());
         assert!(EmConfig::new(4096, 4096).is_err());
         assert!(EmConfig::new(4096, 8192).is_ok());
+    }
+
+    #[test]
+    fn backend_knob_round_trips() {
+        let cfg = EmConfig::new(4096, 8192).unwrap();
+        let fs = cfg.with_backend(StorageBackend::Fs);
+        assert_eq!(fs.backend, StorageBackend::Fs);
+        assert_eq!(fs.block_size, cfg.block_size);
+        assert_eq!(fs.buffer_bytes, cfg.buffer_bytes);
+        assert_eq!(StorageBackend::Sim.name(), "sim");
+        assert_eq!(StorageBackend::Fs.name(), "fs");
+        assert_eq!(StorageBackend::default(), StorageBackend::Sim);
     }
 
     #[test]

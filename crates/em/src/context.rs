@@ -3,8 +3,8 @@
 use parking_lot::Mutex;
 
 use crate::{
-    BufferPool, EmConfig, FileId, IoSnapshot, Record, Result, SimDisk, TupleFile, TupleReader,
-    TupleWriter,
+    BlockDevice, BufferPool, EmConfig, FileId, FsDisk, IoSnapshot, Record, Result, SimDisk,
+    StorageBackend, TupleFile, TupleReader, TupleWriter,
 };
 
 /// Owns a simulated disk and the bounded buffer pool through which all block
@@ -29,14 +29,42 @@ use crate::{
 #[derive(Debug)]
 pub struct EmContext {
     config: EmConfig,
-    disk: SimDisk,
+    disk: Box<dyn BlockDevice>,
     pool: Mutex<BufferPool>,
 }
 
 impl EmContext {
-    /// Creates a context with the given configuration.
+    /// Creates a context with the given configuration, constructing the block
+    /// device the configuration's [`StorageBackend`] selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filesystem backend cannot create its temp directory —
+    /// an environmental failure no caller can meaningfully handle; use
+    /// [`with_device`](EmContext::with_device) with a pre-built [`FsDisk`]
+    /// for checked construction or a custom directory.
     pub fn new(config: EmConfig) -> Self {
-        let disk = SimDisk::new(config.block_size);
+        let disk: Box<dyn BlockDevice> = match config.backend {
+            StorageBackend::Sim => Box::new(SimDisk::new(config.block_size)),
+            StorageBackend::Fs => Box::new(
+                FsDisk::new(config.block_size).expect("FsDisk: cannot create temp directory"),
+            ),
+        };
+        Self::with_device(config, disk)
+    }
+
+    /// Creates a context running against a caller-supplied block device
+    /// (e.g. an [`FsDisk`] rooted at a chosen directory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's block size disagrees with the configuration.
+    pub fn with_device(config: EmConfig, disk: Box<dyn BlockDevice>) -> Self {
+        assert_eq!(
+            disk.block_size(),
+            config.block_size,
+            "device block size must match the EM configuration"
+        );
         let pool = BufferPool::new(config.buffer_blocks().max(2), config.block_size);
         EmContext {
             config,
@@ -48,6 +76,11 @@ impl EmContext {
     /// Creates a context with the paper's synthetic-dataset defaults.
     pub fn with_defaults() -> Self {
         EmContext::new(EmConfig::default())
+    }
+
+    /// The short name of the block-device backend ("sim", "fs").
+    pub fn backend_name(&self) -> &'static str {
+        self.disk.backend_name()
     }
 
     /// The configuration of this context.
@@ -163,14 +196,22 @@ impl EmContext {
     /// I/Os).  Mostly useful at the end of an experiment when the cost of
     /// persisting the final result should be included.
     pub fn flush_all(&self) -> Result<()> {
-        self.pool.lock().flush_all(&self.disk)
+        self.pool.lock().flush_all(self.disk.as_ref())
+    }
+
+    /// Flushes every dirty pool block of one file to disk (counts the write
+    /// I/Os), leaving other files' cached state untouched — used to
+    /// materialize a retained file on a shared context without perturbing
+    /// unrelated workloads' measurements.
+    pub fn flush_file<T: Record>(&self, file: &TupleFile<T>) -> Result<()> {
+        self.pool.lock().flush_file(self.disk.as_ref(), file.id)
     }
 
     // ----- raw block files (for index structures) -----------------------------
 
     /// Allocates a raw block file (no record typing); used by structures such
     /// as the aSB-tree that lay out their own nodes.
-    pub fn create_raw_file(&self) -> FileId {
+    pub fn create_raw_file(&self) -> Result<FileId> {
         self.disk.create_file()
     }
 
@@ -192,7 +233,9 @@ impl EmContext {
         block: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        self.pool.lock().with_read(&self.disk, file, block, f)
+        self.pool
+            .lock()
+            .with_read(self.disk.as_ref(), file, block, f)
     }
 
     /// Writes block `block` of `file` through the pool.  See
@@ -206,7 +249,7 @@ impl EmContext {
     ) -> Result<R> {
         self.pool
             .lock()
-            .with_write(&self.disk, file, block, create, f)
+            .with_write(self.disk.as_ref(), file, block, create, f)
     }
 }
 
@@ -258,7 +301,7 @@ mod tests {
     #[test]
     fn raw_block_files() {
         let ctx = EmContext::new(EmConfig::new(64, 256).unwrap());
-        let f = ctx.create_raw_file();
+        let f = ctx.create_raw_file().unwrap();
         ctx.with_block_write(f, 0, true, |b| b[0] = 9).unwrap();
         let v = ctx.with_block_read(f, 0, |b| b[0]).unwrap();
         assert_eq!(v, 9);

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::{EmError, IoSnapshot, IoStats, Result};
+use crate::{BlockDevice, EmError, IoSnapshot, IoStats, Result};
 
 /// Identifier of a file on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,13 +104,11 @@ impl SimDisk {
         assert_eq!(dst.len(), self.block_size, "destination must be one block");
         let files = self.files.lock();
         let blocks = files.get(&id).ok_or(EmError::FileNotFound(id))?;
-        let block = blocks
-            .get(idx as usize)
-            .ok_or(EmError::BlockOutOfRange {
-                file: id,
-                block: idx,
-                len: blocks.len() as u64,
-            })?;
+        let block = blocks.get(idx as usize).ok_or(EmError::BlockOutOfRange {
+            file: id,
+            block: idx,
+            len: blocks.len() as u64,
+        })?;
         dst.copy_from_slice(block);
         self.stats.record_read();
         Ok(())
@@ -146,6 +144,62 @@ impl SimDisk {
     /// Number of files currently allocated.
     pub fn num_files(&self) -> usize {
         self.files.lock().len()
+    }
+}
+
+/// The trait surface simply delegates to the inherent methods, which remain
+/// available for code that works with a concrete `SimDisk`.
+impl BlockDevice for SimDisk {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn block_size(&self) -> usize {
+        SimDisk::block_size(self)
+    }
+
+    fn create_file(&self) -> Result<FileId> {
+        Ok(SimDisk::create_file(self))
+    }
+
+    fn delete_file(&self, id: FileId) -> Result<()> {
+        SimDisk::delete_file(self, id)
+    }
+
+    fn file_exists(&self, id: FileId) -> bool {
+        SimDisk::file_exists(self, id)
+    }
+
+    fn num_blocks(&self, id: FileId) -> Result<u64> {
+        SimDisk::num_blocks(self, id)
+    }
+
+    fn block_exists(&self, id: FileId, idx: u64) -> bool {
+        SimDisk::block_exists(self, id, idx)
+    }
+
+    fn read_block(&self, id: FileId, idx: u64, dst: &mut [u8]) -> Result<()> {
+        SimDisk::read_block(self, id, idx, dst)
+    }
+
+    fn write_block(&self, id: FileId, idx: u64, src: &[u8]) -> Result<()> {
+        SimDisk::write_block(self, id, idx, src)
+    }
+
+    fn total_blocks(&self) -> u64 {
+        SimDisk::total_blocks(self)
+    }
+
+    fn num_files(&self) -> usize {
+        SimDisk::num_files(self)
+    }
+
+    fn stats(&self) -> IoSnapshot {
+        SimDisk::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        SimDisk::reset_stats(self)
     }
 }
 

@@ -27,6 +27,9 @@ pub enum EmError {
     },
     /// The stored data is inconsistent with the file metadata.
     Corrupt(String),
+    /// An operating-system I/O failure from a filesystem-backed device
+    /// (the simulated backend never raises this).
+    Io(String),
 }
 
 impl std::fmt::Display for EmError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for EmError {
                 "record of {record_size} bytes does not fit into a {block_size}-byte block"
             ),
             EmError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            EmError::Io(msg) => write!(f, "I/O failure: {msg}"),
         }
     }
 }

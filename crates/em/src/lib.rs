@@ -10,8 +10,13 @@
 //!
 //! This crate provides a faithful, deterministic simulation of that model:
 //!
-//! * [`SimDisk`] — a RAM-backed block device that counts every block read and
-//!   write in an [`IoStats`] counter,
+//! * [`BlockDevice`] — the block-device trait every backend implements, with
+//!   every block read and write counted in an [`IoStats`] counter,
+//! * [`SimDisk`] — the RAM-backed simulated device (default backend),
+//! * [`FsDisk`] — a filesystem-backed device storing blocks in real files
+//!   under a temp/configurable directory (select with
+//!   [`StorageBackend::Fs`] or `MAXRS_BACKEND=fs`); logical I/O counts are
+//!   identical across backends,
 //! * [`BufferPool`] — a bounded buffer of block frames with CLOCK
 //!   (second-chance) replacement; only pool *misses* and dirty *evictions*
 //!   touch the disk and therefore cost I/O,
@@ -49,20 +54,24 @@
 
 mod config;
 mod context;
+mod device;
 mod disk;
 mod error;
 mod file;
+mod fsdisk;
 mod pool;
 mod record;
 mod rw;
 mod sort;
 mod stats;
 
-pub use config::EmConfig;
+pub use config::{EmConfig, StorageBackend};
 pub use context::EmContext;
+pub use device::BlockDevice;
 pub use disk::{FileId, SimDisk};
 pub use error::EmError;
 pub use file::TupleFile;
+pub use fsdisk::FsDisk;
 pub use pool::BufferPool;
 pub use record::{codec, Record};
 pub use rw::{TupleReader, TupleWriter};

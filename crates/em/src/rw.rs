@@ -32,7 +32,7 @@ impl<'a, T: Record> TupleWriter<'a, T> {
         }
         Ok(TupleWriter {
             ctx,
-            file_id: ctx.create_raw_file(),
+            file_id: ctx.create_raw_file()?,
             block: vec![0u8; block_size],
             in_block: 0,
             per_block: block_size / T::SIZE,

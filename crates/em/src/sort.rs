@@ -202,7 +202,9 @@ mod tests {
         // Deterministic shuffle.
         let mut state = 0x12345678u64;
         for i in (1..data.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             data.swap(i, j);
         }

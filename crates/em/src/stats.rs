@@ -148,10 +148,28 @@ mod tests {
 
     #[test]
     fn snapshot_arithmetic() {
-        let a = IoSnapshot { reads: 10, writes: 4 };
-        let b = IoSnapshot { reads: 3, writes: 1 };
-        assert_eq!(a.since(&b), IoSnapshot { reads: 7, writes: 3 });
-        assert_eq!(b.since(&a), IoSnapshot { reads: 0, writes: 0 });
+        let a = IoSnapshot {
+            reads: 10,
+            writes: 4,
+        };
+        let b = IoSnapshot {
+            reads: 3,
+            writes: 1,
+        };
+        assert_eq!(
+            a.since(&b),
+            IoSnapshot {
+                reads: 7,
+                writes: 3
+            }
+        );
+        assert_eq!(
+            b.since(&a),
+            IoSnapshot {
+                reads: 0,
+                writes: 0
+            }
+        );
         assert_eq!((a + b).total(), 18);
         assert!(a.to_string().contains("14 I/Os"));
     }

@@ -1,6 +1,5 @@
 //! Circles (disks) for the MaxCRS problem.
 
-
 use crate::{Coord, Point, Rect, RectSize};
 
 /// A circle given by its center and radius.

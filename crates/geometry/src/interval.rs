@@ -5,7 +5,6 @@
 //! of the distribution sweep extend to infinity), so the type deliberately
 //! works with raw `f64` endpoints rather than a bounded range type.
 
-
 use crate::Coord;
 
 /// A (possibly unbounded) interval `[lo, hi]` on the x-axis with `lo <= hi`.
@@ -21,8 +20,14 @@ impl Interval {
     /// Creates an interval; panics (in debug builds) if `lo > hi` or either
     /// bound is NaN.
     pub fn new(lo: Coord, hi: Coord) -> Self {
-        debug_assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
-        debug_assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        debug_assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
+        debug_assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Interval { lo, hi }
     }
 

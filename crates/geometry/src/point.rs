@@ -1,6 +1,5 @@
 //! Points in the Euclidean plane.
 
-
 use crate::Coord;
 
 /// A location in the 2-dimensional data space.
@@ -96,10 +95,7 @@ mod tests {
     fn translation_and_midpoint() {
         let a = Point::new(1.0, 1.0);
         assert_eq!(a.translated(2.0, -1.0), Point::new(3.0, 0.0));
-        assert_eq!(
-            a.midpoint(&Point::new(3.0, 5.0)),
-            Point::new(2.0, 3.0)
-        );
+        assert_eq!(a.midpoint(&Point::new(3.0, 5.0)), Point::new(2.0, 3.0));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Axis-parallel rectangles.
 
-
 use crate::{Coord, Interval, Point};
 
 /// The extent `d1 × d2` of the MaxRS query rectangle.
@@ -52,7 +51,12 @@ impl Rect {
     pub fn new(x_lo: Coord, x_hi: Coord, y_lo: Coord, y_hi: Coord) -> Self {
         debug_assert!(x_lo <= x_hi, "x_lo {x_lo} > x_hi {x_hi}");
         debug_assert!(y_lo <= y_hi, "y_lo {y_lo} > y_hi {y_hi}");
-        Rect { x_lo, x_hi, y_lo, y_hi }
+        Rect {
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+        }
     }
 
     /// The rectangle of size `size` centered at `center` — `r(p)` in the paper.

@@ -1,6 +1,5 @@
 //! Weighted spatial objects — the elements of the dataset `O`.
 
-
 use crate::{Circle, Coord, Point, Rect, RectSize, Weight};
 
 /// A spatial object: a point location with a non-negative weight `w(o)`.
@@ -116,14 +115,8 @@ mod tests {
         assert_eq!(range_sum_rect(&objects, Point::new(0.0, 0.0), size), 3.0);
         // Circle of diameter 4 centered at (0,0): covers (0,0) and (1,1),
         // excludes (2,0) which is exactly on the boundary.
-        assert_eq!(
-            range_sum_circle(&objects, Point::new(0.0, 0.0), 4.0),
-            3.0
-        );
+        assert_eq!(range_sum_circle(&objects, Point::new(0.0, 0.0), 4.0), 3.0);
         // Large circle covers everything.
-        assert_eq!(
-            range_sum_circle(&objects, Point::new(2.0, 2.0), 20.0),
-            15.0
-        );
+        assert_eq!(range_sum_circle(&objects, Point::new(2.0, 2.0), 20.0), 15.0);
     }
 }

@@ -16,9 +16,13 @@ fn interval() -> impl Strategy<Value = Interval> {
 }
 
 fn rect() -> impl Strategy<Value = Rect> {
-    (finite_coord(), finite_coord(), finite_coord(), finite_coord()).prop_map(|(a, b, c, d)| {
-        Rect::new(a.min(b), a.max(b), c.min(d), c.max(d))
-    })
+    (
+        finite_coord(),
+        finite_coord(),
+        finite_coord(),
+        finite_coord(),
+    )
+        .prop_map(|(a, b, c, d)| Rect::new(a.min(b), a.max(b), c.min(d), c.max(d)))
 }
 
 proptest! {

@@ -7,8 +7,14 @@
 //! and the base cases grow), until the whole working set fits and the curve
 //! flattens.
 //!
+//! The sweep honors the storage backend selected by `MAXRS_BACKEND` — run it
+//! with `MAXRS_BACKEND=fs` and every block lands in a real file, while the
+//! printed (logical) I/O counts stay exactly the same: the cost model counts
+//! block transfers at the `BlockDevice` boundary, not what the OS does below.
+//!
 //! ```text
 //! cargo run --release --example io_model_tour
+//! MAXRS_BACKEND=fs cargo run --release --example io_model_tour
 //! ```
 
 use maxrs::datagen::{Dataset, DatasetKind};
@@ -18,9 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::generate(DatasetKind::Gaussian, 30_000, 99);
     let size = RectSize::square(1000.0);
     println!(
-        "dataset: {} objects ({} KB as 24-byte records)\n",
+        "dataset: {} objects ({} KB as 24-byte records), backend: {}\n",
         dataset.len(),
-        dataset.len() * 24 / 1024
+        dataset.len() * 24 / 1024,
+        maxrs::StorageBackend::from_env().name()
     );
     println!(
         "{:>12}  {:>10}  {:>10}  {:>10}  {:>12}",

@@ -61,12 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- MaxCRS (circular range), approximate ---------------------------------
     let diameter = 6.0;
-    let circle = approx_max_crs_from_objects(
-        &ctx,
-        &objects,
-        diameter,
-        &ApproxMaxCrsOptions::default(),
-    )?;
+    let circle =
+        approx_max_crs_from_objects(&ctx, &objects, diameter, &ApproxMaxCrsOptions::default())?;
     println!(
         "[ApproxMaxCRS] best circle (d={diameter}) center: {} covering weight {}",
         circle.center, circle.total_weight

@@ -1,6 +1,7 @@
 //! Store expansion planning with the future-work extensions of the paper:
 //! MaxkRS (open several stores at once) and MinRS (find the least-served spot
-//! inside a district).
+//! inside a district) — asked of one [`PreparedDataset`], so the external
+//! x-sort of the customer file is paid once, not once per question.
 //!
 //! ```text
 //! cargo run --release --example store_expansion
@@ -14,14 +15,28 @@ fn main() {
     // Customer locations in a metropolitan area.
     let customers = Dataset::generate(DatasetKind::Ne, 15_000, 31);
     let delivery = RectSize::new(25_000.0, 25_000.0); // 25 km x 25 km service area
-    println!("{} customers, service area {} x {} m", customers.len(), delivery.width, delivery.height);
+    println!(
+        "{} customers, service area {} x {} m",
+        customers.len(),
+        delivery.width,
+        delivery.height
+    );
 
     // One engine answers every variant below; it auto-selects the execution
     // strategy (in-memory vs. external, sequential vs. parallel) per query.
+    // `prepare` runs the transform-independent preprocessing (the external
+    // x-sort) once; every question below reuses it.
     let engine = MaxRsEngine::new();
+    let prepared = engine.prepare(&customers.objects).unwrap();
+    println!(
+        "prepared once: {} objects, external={}, preprocessing cost {}",
+        prepared.len(),
+        prepared.is_external(),
+        prepared.prepare_io()
+    );
 
     // --- One store: plain MaxRS ------------------------------------------------
-    let run = engine.run(&customers.objects, &Query::max_rs(delivery)).unwrap();
+    let run = prepared.run(&Query::max_rs(delivery)).unwrap();
     let single = *run.answer.as_max_rs().expect("rectangle answer");
     println!(
         "\n1 store : place at ({:.0}, {:.0}) -> {} customers served [{}]",
@@ -32,7 +47,7 @@ fn main() {
     );
 
     // --- A chain of four stores: greedy MaxkRS ---------------------------------
-    let run = engine.run(&customers.objects, &Query::top_k(delivery, 4)).unwrap();
+    let run = prepared.run(&Query::top_k(delivery, 4)).unwrap();
     let chain = run.answer.placements().expect("placement list").to_vec();
     println!("\n4 stores (greedy MaxkRS, non-overlapping service areas):");
     let mut covered = 0.0;
@@ -55,9 +70,7 @@ fn main() {
 
     // --- Where is the most under-served spot downtown? MinRS -------------------
     let downtown = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
-    let run = engine
-        .run(&customers.objects, &Query::min_rs(delivery, downtown))
-        .unwrap();
+    let run = prepared.run(&Query::min_rs(delivery, downtown)).unwrap();
     let quietest = *run.answer.as_max_rs().expect("rectangle answer");
     println!(
         "\nLeast-served location inside downtown: ({:.0}, {:.0}) with only {} customers in range",

@@ -66,7 +66,10 @@ pub trait SampleRange<T> {
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
-        assert!(self.start < self.end, "gen_range requires a non-empty range");
+        assert!(
+            self.start < self.end,
+            "gen_range requires a non-empty range"
+        );
         let u = f64::sample_standard(rng);
         self.start + u * (self.end - self.start)
     }

@@ -54,11 +54,11 @@ pub use maxrs_em as em;
 pub use maxrs_geometry as geometry;
 
 pub use maxrs_core::{
-    approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory,
-    exact_max_crs_in_memory, exact_max_rs, exact_max_rs_from_objects, load_objects,
-    max_k_rs_in_memory, max_rs_in_memory, min_rs_in_memory, ApproxMaxCrsOptions, EngineOptions,
-    EngineRun, ExactMaxRsOptions, ExecutionStrategy, MaxCrsResult, MaxRsEngine, MaxRsResult,
-    Query, QueryAnswer, QueryRun,
+    approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, exact_max_crs_in_memory,
+    exact_max_rs, exact_max_rs_from_objects, load_objects, max_k_rs_in_memory, max_rs_in_memory,
+    min_rs_in_memory, ApproxMaxCrsOptions, EngineOptions, EngineRun, ExactMaxRsOptions,
+    ExecutionStrategy, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset, Query, QueryAnswer,
+    QueryRun,
 };
-pub use maxrs_em::{EmConfig, EmContext, IoSnapshot};
+pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};

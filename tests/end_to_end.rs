@@ -7,8 +7,7 @@ use maxrs::baselines::{asb_tree_sweep, naive_sweep, Algorithm};
 use maxrs::core::{brute_force_max_rs, rect_objective};
 use maxrs::datagen::{Dataset, DatasetKind, WeightMode};
 use maxrs::{
-    exact_max_rs, load_objects, max_rs_in_memory, EmConfig, EmContext, ExactMaxRsOptions,
-    RectSize,
+    exact_max_rs, load_objects, max_rs_in_memory, EmConfig, EmContext, ExactMaxRsOptions, RectSize,
 };
 
 /// The four algorithm implementations (three external, one in-memory) must
@@ -47,8 +46,12 @@ fn all_algorithms_agree_on_every_dataset_family() {
 /// Weighted objects: the optimum maximizes total weight, not the object count.
 #[test]
 fn weighted_objects_are_respected_end_to_end() {
-    let dataset =
-        Dataset::generate_weighted(DatasetKind::Uniform, 300, 5, WeightMode::UniformRandom { max: 9.0 });
+    let dataset = Dataset::generate_weighted(
+        DatasetKind::Uniform,
+        300,
+        5,
+        WeightMode::UniformRandom { max: 9.0 },
+    );
     let size = RectSize::square(100_000.0);
     let reference = max_rs_in_memory(&dataset.objects, size);
     let brute = brute_force_max_rs(&dataset.objects, size);
@@ -63,9 +66,13 @@ fn weighted_objects_are_respected_end_to_end() {
     );
 
     let ctx = EmContext::new(EmConfig::new(4096, 8 * 4096).unwrap());
-    let exact =
-        maxrs::exact_max_rs_from_objects(&ctx, &dataset.objects, size, &ExactMaxRsOptions::default())
-            .unwrap();
+    let exact = maxrs::exact_max_rs_from_objects(
+        &ctx,
+        &dataset.objects,
+        size,
+        &ExactMaxRsOptions::default(),
+    )
+    .unwrap();
     assert!(
         close(exact.total_weight, brute.total_weight),
         "{} vs {}",
@@ -92,7 +99,10 @@ fn answers_are_invariant_to_memory_configuration() {
         .unwrap();
         weights.push(r.total_weight);
     }
-    assert!(weights.windows(2).all(|w| w[0] == w[1]), "weights = {weights:?}");
+    assert!(
+        weights.windows(2).all(|w| w[0] == w[1]),
+        "weights = {weights:?}"
+    );
 }
 
 /// I/O ordering across a cardinality sweep: ExactMaxRS scales near-linearly
@@ -153,12 +163,16 @@ fn degenerate_inputs_are_handled_gracefully() {
     let size = RectSize::square(10.0);
 
     // Empty dataset.
-    let r = maxrs::exact_max_rs_from_objects(&ctx, &[], size, &ExactMaxRsOptions::default()).unwrap();
+    let r =
+        maxrs::exact_max_rs_from_objects(&ctx, &[], size, &ExactMaxRsOptions::default()).unwrap();
     assert_eq!(r.total_weight, 0.0);
 
     // All objects at the same location.
-    let same: Vec<_> = (0..500).map(|_| maxrs::WeightedPoint::unit(5.0, 5.0)).collect();
-    let r = maxrs::exact_max_rs_from_objects(&ctx, &same, size, &ExactMaxRsOptions::default()).unwrap();
+    let same: Vec<_> = (0..500)
+        .map(|_| maxrs::WeightedPoint::unit(5.0, 5.0))
+        .collect();
+    let r =
+        maxrs::exact_max_rs_from_objects(&ctx, &same, size, &ExactMaxRsOptions::default()).unwrap();
     assert_eq!(r.total_weight, 500.0);
 
     // All objects on one vertical line (every slab boundary collapses).
@@ -170,12 +184,16 @@ fn degenerate_inputs_are_handled_gracefully() {
         fanout: Some(4),
         ..Default::default()
     };
-    let r = maxrs::exact_max_rs_from_objects(&ctx, &line, RectSize::new(10.0, 50.0), &opts).unwrap();
+    let r =
+        maxrs::exact_max_rs_from_objects(&ctx, &line, RectSize::new(10.0, 50.0), &opts).unwrap();
     let reference = max_rs_in_memory(&line, RectSize::new(10.0, 50.0));
     assert_eq!(r.total_weight, reference.total_weight);
 
     // Zero-weight objects.
-    let zeros: Vec<_> = (0..100).map(|i| maxrs::WeightedPoint::at(i as f64, 0.0, 0.0)).collect();
-    let r = maxrs::exact_max_rs_from_objects(&ctx, &zeros, size, &ExactMaxRsOptions::default()).unwrap();
+    let zeros: Vec<_> = (0..100)
+        .map(|i| maxrs::WeightedPoint::at(i as f64, 0.0, 0.0))
+        .collect();
+    let r = maxrs::exact_max_rs_from_objects(&ctx, &zeros, size, &ExactMaxRsOptions::default())
+        .unwrap();
     assert_eq!(r.total_weight, 0.0);
 }

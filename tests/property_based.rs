@@ -24,9 +24,8 @@ use proptest::prelude::*;
 /// cases) appear frequently.
 fn objects_strategy(max_len: usize) -> impl Strategy<Value = Vec<WeightedPoint>> {
     prop::collection::vec(
-        (0i32..40, 0i32..40, 1u32..4).prop_map(|(x, y, w)| {
-            WeightedPoint::at(x as f64, y as f64, w as f64)
-        }),
+        (0i32..40, 0i32..40, 1u32..4)
+            .prop_map(|(x, y, w)| WeightedPoint::at(x as f64, y as f64, w as f64)),
         1..max_len,
     )
 }
