@@ -9,9 +9,10 @@ use maxrs_core::{
     load_objects, max_rs_in_memory, EngineOptions, ExactMaxRsOptions, MaxRsEngine, Query,
     SegmentTree,
 };
-use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_datagen::{event_stream, Dataset, DatasetKind, EventStreamConfig};
 use maxrs_em::{external_sort_by_key, EmConfig, EmContext};
 use maxrs_geometry::{Rect, RectSize};
+use maxrs_stream::{Event, StreamConfig, StreamEngine};
 
 fn bench_segment_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("segment_tree");
@@ -187,6 +188,90 @@ fn bench_prepared_reuse(c: &mut Criterion) {
     );
 }
 
+/// Incremental vs. from-scratch answering over a dynamic dataset: build a
+/// streamed dataset once, then measure (a) one event + one incremental
+/// answer (the steady-state cost of the maintenance loop) against (b) one
+/// event + a full `max_rs_in_memory` recompute — the operation the
+/// streaming subsystem replaces.  A footer prints the maintenance stats so
+/// the bench output documents how localized the incremental work is.
+fn bench_engine_stream(c: &mut Criterion) {
+    let size = RectSize::square(10_000.0);
+    let cfg = EventStreamConfig {
+        events: 20_000,
+        ..Default::default()
+    };
+    let events = event_stream(&cfg, 3);
+
+    let mut group = c.benchmark_group("engine_stream");
+    group.sample_size(10);
+
+    group.bench_function("ingest_20k_events", |b| {
+        b.iter(|| {
+            let mut engine = StreamEngine::new(StreamConfig::max_rs(size)).unwrap();
+            engine.apply_all(&events).unwrap();
+            engine.len()
+        });
+    });
+
+    // Both steady-state benches share one pre-built engine; each iteration
+    // inserts a fresh object and deletes it again after answering, so the
+    // dataset stays at its advertised 20k-event size no matter how many
+    // timing iterations criterion runs — the two benches therefore measure
+    // the same workload and remain directly comparable.
+    let mut engine = StreamEngine::new(StreamConfig::max_rs(size)).unwrap();
+    engine.apply_all(&events).unwrap();
+    let mut next_id = events.len() as u64;
+    let mut t = events.last().map_or(0.0, |e| e.at());
+    group.bench_function("event_plus_incremental_answer", |b| {
+        b.iter(|| {
+            t += 1.0;
+            let id = next_id;
+            next_id += 1;
+            engine
+                .apply(&Event::insert(
+                    id,
+                    (id % 997) as f64 * 1000.0,
+                    500_000.0,
+                    1.0,
+                    t,
+                ))
+                .unwrap();
+            let best = engine.answer().run.answer.best_weight();
+            engine.apply(&Event::delete(id, t)).unwrap();
+            best
+        });
+    });
+    group.bench_function("event_plus_full_recompute", |b| {
+        b.iter(|| {
+            t += 1.0;
+            let id = next_id;
+            next_id += 1;
+            engine
+                .apply(&Event::insert(
+                    id,
+                    (id % 997) as f64 * 1000.0,
+                    500_000.0,
+                    1.0,
+                    t,
+                ))
+                .unwrap();
+            let best = max_rs_in_memory(&engine.survivors(), size).total_weight;
+            engine.apply(&Event::delete(id, t)).unwrap();
+            best
+        });
+    });
+    group.finish();
+
+    let answer = engine.answer();
+    println!(
+        "engine_stream: survivors={} cells {}/{} swept/total, pruned={}",
+        answer.stats.live_objects,
+        answer.stats.cells_swept,
+        answer.stats.cells_total,
+        answer.stats.cells_pruned
+    );
+}
+
 criterion_group!(
     benches,
     bench_segment_tree,
@@ -194,6 +279,7 @@ criterion_group!(
     bench_external_sort,
     bench_engine_parallelism,
     bench_engine_variants,
-    bench_prepared_reuse
+    bench_prepared_reuse,
+    bench_engine_stream
 );
 criterion_main!(benches);

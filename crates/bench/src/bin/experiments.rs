@@ -27,10 +27,12 @@ use maxrs_bench::figures::{
 use maxrs_bench::json::Value;
 use maxrs_bench::report::FigureReport;
 use maxrs_bench::runner::{run_prepared_reuse, PreparedReuseRun};
+use maxrs_bench::stream_run::{run_stream, StreamRun};
 use maxrs_bench::tables::{table2, table3};
 use maxrs_core::Query;
-use maxrs_datagen::{Dataset, DatasetKind};
+use maxrs_datagen::{Dataset, DatasetKind, EventStreamConfig};
 use maxrs_geometry::RectSize;
+use maxrs_stream::StreamConfig;
 
 struct Args {
     command: String,
@@ -74,8 +76,43 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared> \
+    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|stream> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
+}
+
+/// The streaming workload: replay generated insert/delete/tick sequences
+/// through the incremental [`StreamEngine`](maxrs_stream::StreamEngine) —
+/// plain, windowed and top-k — reporting ingest events/sec, incremental
+/// answer latency and the speedup over a from-scratch recompute.  Every row
+/// is verified: the final incremental answer must be bit-identical to the
+/// batch engine on the surviving objects.
+fn stream_runs(opts: &FigureOptions) -> Vec<StreamRun> {
+    // The event count scales like the dataset cardinalities of the figures;
+    // ~60k events at the default 4% scale, 15k under --smoke.  Answers are
+    // taken every ~30 events — the high-frequency regime incremental
+    // maintenance exists for (a full recompute per answer would dominate).
+    let events = opts.scale.cardinality(1_500_000).max(1_000);
+    let answer_every = (events / 500).max(1);
+    let cfg = EventStreamConfig {
+        events,
+        ..Default::default()
+    };
+    let size = RectSize::square(10_000.0);
+    let window = cfg.mean_dt * events as f64 / 4.0;
+    let variants = [
+        ("plain max-rs", StreamConfig::max_rs(size)),
+        ("windowed", StreamConfig::max_rs(size).with_window(window)),
+        ("top-k", StreamConfig::top_k(size, 3)),
+    ];
+    variants
+        .iter()
+        .map(|(name, config)| {
+            let run =
+                run_stream(&cfg, opts.seed, *config, answer_every).expect("stream replay failed");
+            assert!(run.verified, "{name}: incremental answer diverged");
+            run
+        })
+        .collect()
 }
 
 /// Cold-vs-prepared comparison at the synthetic defaults: how much I/O and
@@ -188,6 +225,31 @@ fn main() -> ExitCode {
         }
         println!("[prepared took {:.1?}]", t.elapsed());
     }
+    let mut stream_rows: Vec<StreamRun> = Vec::new();
+    if matches!(command, "stream" | "all") {
+        let t = Instant::now();
+        stream_rows = stream_runs(&opts);
+        println!("\nstream (incremental maintenance vs. full recompute, verified):");
+        for row in &stream_rows {
+            println!(
+                "  {:<8} window={:<9} events={} survivors={} expired={} \
+                 ingest={:.0} ev/s answer_mean={:.1?} answer_max={:.1?} \
+                 recompute={:.1?} cells {:.1}/{} swept/total",
+                row.query,
+                row.window.map_or("none".to_string(), |w| format!("{w:.0}")),
+                row.events,
+                row.survivors,
+                row.expired,
+                row.events_per_sec,
+                std::time::Duration::from_nanos(row.answer_ns_mean as u64),
+                std::time::Duration::from_nanos(row.answer_ns_max as u64),
+                std::time::Duration::from_nanos(row.full_recompute_ns as u64),
+                row.cells_swept_mean,
+                row.cells_total,
+            );
+        }
+        println!("[stream took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
         "all"
@@ -200,6 +262,7 @@ fn main() -> ExitCode {
             | "table2"
             | "table3"
             | "prepared"
+            | "stream"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
@@ -210,6 +273,7 @@ fn main() -> ExitCode {
             .iter()
             .map(FigureReport::to_value)
             .chain(prepared_rows.iter().map(PreparedReuseRun::to_value))
+            .chain(stream_rows.iter().map(StreamRun::to_value))
             .collect();
         let count = values.len();
         let json = Value::Array(values).to_pretty_string();

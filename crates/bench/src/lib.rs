@@ -16,6 +16,12 @@
 //! The `experiments` binary drives these runners from the command line and
 //! prints the same rows/series the paper reports; `cargo bench` runs reduced
 //! Criterion configurations for wall-clock regression tracking.
+//!
+//! Beyond the paper's own evaluation, the binary also measures the
+//! workspace's extensions: `prepared` (sort-once repeated querying, see
+//! [`runner::run_prepared_reuse`]) and `stream` (incremental MaxRS over
+//! event streams, see [`stream_run::run_stream`] — ingest events/sec,
+//! incremental answer latency and the speedup over full recomputes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +31,10 @@ pub mod figures;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod stream_run;
 pub mod tables;
 
 pub use config::{ExperimentScale, PAPER_BLOCK_SIZE};
 pub use report::{FigureReport, Series, SeriesPoint};
 pub use runner::{run_algorithm, AlgorithmRun};
+pub use stream_run::{run_stream, StreamRun};

@@ -28,7 +28,7 @@ use maxrs_em::{EmConfig, EmContext, IoSnapshot, TupleFile};
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
 use crate::approx::{approx_max_crs_in_memory, approx_max_crs_presorted, ApproxMaxCrsOptions};
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::exact::{
     distribution_sweep_presorted, exact_max_rs_presorted, next_breakpoint_after,
     transform_to_scaled_rect_file, ExactMaxRsOptions,
@@ -213,6 +213,30 @@ impl MaxRsEngine {
         }
     }
 
+    /// Rejects an *auto-selected* in-memory run whose dataset does not fit
+    /// the EM configuration's real budget — possible only when
+    /// [`ExactMaxRsOptions::memory_rects`] promises more rectangles than
+    /// `config` provides.  Honoring that promise would silently violate the
+    /// I/O model the engine reports against, so `run`/`run_file` (and the
+    /// prepare paths) surface [`EngineError::InMemoryOverCapacity`] instead.
+    /// An explicit [`EngineOptions::force_strategy`] of
+    /// [`ExecutionStrategy::InMemory`] bypasses the check: forcing is the
+    /// documented escape hatch for equivalence tests.
+    pub(crate) fn guard_in_memory_capacity(&self, n: u64, config: EmConfig) -> Result<()> {
+        if self.opts.force_strategy.is_some() {
+            return Ok(());
+        }
+        let capacity = config.mem_records::<RectRecord>() as u64;
+        if n > capacity {
+            return Err(EngineError::InMemoryOverCapacity {
+                objects: n,
+                capacity,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
     /// Answers any [`Query`] variant over an in-memory object slice,
     /// auto-selecting the execution strategy exactly like
     /// [`solve`](MaxRsEngine::solve).
@@ -265,6 +289,7 @@ impl MaxRsEngine {
         query.validate()?;
         let (strategy, _) = self.select_strategy(objects.len() as u64);
         if strategy == ExecutionStrategy::InMemory {
+            self.guard_in_memory_capacity(objects.len() as u64, self.opts.em_config)?;
             // Answer directly from the borrowed slice: building a throwaway
             // prepared dataset here would copy the whole dataset per query
             // for no benefit.
@@ -646,11 +671,70 @@ mod tests {
         let engine = MaxRsEngine::new();
         let mem_rects = engine.options().em_config.mem_records::<RectRecord>() as u64;
         let (strategy, workers) = engine.select_strategy(mem_rects + 1);
+        assert_ne!(
+            strategy,
+            ExecutionStrategy::InMemory,
+            "dataset larger than M must go external"
+        );
         match strategy {
             ExecutionStrategy::ExternalParallel => assert!(workers > 1),
             ExecutionStrategy::ExternalSequential => assert_eq!(workers, 1),
-            ExecutionStrategy::InMemory => panic!("dataset larger than M must go external"),
+            ExecutionStrategy::InMemory => unreachable!(),
         }
+    }
+
+    #[test]
+    fn oversized_in_memory_selection_is_a_checked_error() {
+        use crate::error::{CoreError, EngineError};
+        use crate::exact::load_objects;
+
+        // A `memory_rects` override promising more rectangles than the EM
+        // configuration fits: auto-selection would answer in memory in
+        // violation of the I/O model, so run/run_file refuse with the typed
+        // engine error instead of a panic (or a silent model violation).
+        let em_config = EmConfig::new(512, 16 * 512).unwrap();
+        let engine = MaxRsEngine::with_options(EngineOptions {
+            em_config,
+            exact: ExactMaxRsOptions {
+                memory_rects: Some(usize::MAX),
+                ..Default::default()
+            },
+            force_strategy: None,
+        });
+        let objects = pseudo_random_objects(2000, 9, 1000.0);
+        let query = Query::max_rs(RectSize::square(10.0));
+
+        let err = engine.run(&objects, &query).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Engine(EngineError::InMemoryOverCapacity { objects: 2000, .. })
+            ),
+            "{err:?}"
+        );
+
+        let ctx = EmContext::new(em_config);
+        let file = load_objects(&ctx, &objects).unwrap();
+        let err = engine.run_file(&ctx, &file, &query).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Engine(EngineError::InMemoryOverCapacity { .. })
+            ),
+            "{err:?}"
+        );
+        ctx.delete_file(file).unwrap();
+
+        // Forcing the in-memory strategy stays the explicit escape hatch.
+        let forced = MaxRsEngine::with_options(EngineOptions {
+            em_config,
+            exact: ExactMaxRsOptions {
+                memory_rects: Some(usize::MAX),
+                ..Default::default()
+            },
+            force_strategy: Some(ExecutionStrategy::InMemory),
+        });
+        assert!(forced.run(&objects, &query).is_ok());
     }
 
     #[test]

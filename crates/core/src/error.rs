@@ -2,6 +2,42 @@
 
 use maxrs_em::EmError;
 
+/// Errors raised by the [`MaxRsEngine`](crate::MaxRsEngine) facade itself —
+/// strategy selection and option validation, as opposed to failures inside an
+/// algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Auto-selection would answer a query in memory although the dataset
+    /// does not fit the external-memory budget `M`.  This happens when
+    /// [`ExactMaxRsOptions::memory_rects`](crate::ExactMaxRsOptions) promises
+    /// more in-memory rectangles than the engine's
+    /// [`EmConfig`](maxrs_em::EmConfig) provides; the engine refuses rather
+    /// than silently violating the I/O model.  Forcing
+    /// [`ExecutionStrategy::InMemory`](crate::ExecutionStrategy) stays the
+    /// explicit escape hatch for equivalence tests.
+    InMemoryOverCapacity {
+        /// Number of objects the query covers.
+        objects: u64,
+        /// Rectangles the EM configuration actually fits in memory.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InMemoryOverCapacity { objects, capacity } => write!(
+                f,
+                "dataset larger than M must go external: {objects} objects exceed the \
+                 in-memory capacity of {capacity} rectangles (raise the buffer size or \
+                 drop the memory_rects override)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Errors raised by the MaxRS / MaxCRS algorithms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -10,6 +46,8 @@ pub enum CoreError {
     /// The algorithm was invoked with an invalid parameter (e.g. a
     /// non-positive rectangle extent).
     InvalidParameter(String),
+    /// The engine facade refused the run (see [`EngineError`]).
+    Engine(EngineError),
     /// An internal invariant was violated (indicates a bug, reported instead
     /// of panicking so that long experiment sweeps fail gracefully).
     Internal(String),
@@ -20,6 +58,7 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Em(e) => write!(f, "external-memory error: {e}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -29,6 +68,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Em(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -37,6 +77,12 @@ impl std::error::Error for CoreError {
 impl From<EmError> for CoreError {
     fn from(e: EmError) -> Self {
         CoreError::Em(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
     }
 }
 
@@ -61,5 +107,20 @@ mod tests {
         use std::error::Error;
         assert!(e.source().is_some());
         assert!(CoreError::Internal("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn engine_error_wraps_and_displays() {
+        let e: CoreError = EngineError::InMemoryOverCapacity {
+            objects: 1000,
+            capacity: 64,
+        }
+        .into();
+        assert!(matches!(e, CoreError::Engine(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("must go external"), "{msg}");
+        assert!(msg.contains("1000") && msg.contains("64"), "{msg}");
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

@@ -112,14 +112,14 @@ pub use approx::{
 };
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
-pub use error::{CoreError, Result};
+pub use error::{CoreError, EngineError, Result};
 pub use exact::{
     distribution_sweep, distribution_sweep_presorted, exact_max_rs, exact_max_rs_from_objects,
     exact_max_rs_presorted, load_objects, next_breakpoint_after, sort_objects_by_x,
     transform_to_rect_file, transform_to_scaled_rect_file, ExactMaxRsOptions,
 };
 pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
-pub use grid::UniformGrid;
+pub use grid::{grid_cell, UniformGrid, GRID_CELL_LIMIT};
 pub use merge_sweep::{merge_sweep, merge_sweep_tree};
 pub use parallel::{available_parallelism, parallel_map};
 pub use plane_sweep::{

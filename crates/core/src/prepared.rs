@@ -120,6 +120,7 @@ impl MaxRsEngine {
         let opts = *self.options();
         let (strategy, _) = self.select_strategy(objects.len() as u64);
         if strategy == ExecutionStrategy::InMemory {
+            self.guard_in_memory_capacity(objects.len() as u64, opts.em_config)?;
             return Ok(PreparedDataset {
                 opts,
                 source: Source::Memory(objects.to_vec()),
@@ -166,6 +167,7 @@ impl MaxRsEngine {
         let (strategy, _) = self.select_for(objects.len(), ctx.config());
         let before = ctx.stats();
         if strategy == ExecutionStrategy::InMemory {
+            self.guard_in_memory_capacity(objects.len(), ctx.config())?;
             let records = ctx.read_all(objects)?;
             let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
             return Ok(PreparedDataset {

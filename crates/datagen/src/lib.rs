@@ -25,4 +25,4 @@ mod synthetic;
 
 pub use dataset::{Dataset, DatasetKind, WeightMode};
 pub use real::{ne_surrogate, ux_surrogate, NE_CARDINALITY, UX_CARDINALITY};
-pub use synthetic::{gaussian, uniform, SPACE_EXTENT};
+pub use synthetic::{event_stream, gaussian, uniform, EventStreamConfig, SPACE_EXTENT};

@@ -1,6 +1,8 @@
-//! Synthetic datasets: uniform and Gaussian distributions (Table 3).
+//! Synthetic datasets: uniform and Gaussian distributions (Table 3), plus
+//! reproducible insert/delete event streams for the streaming subsystem.
 
 use maxrs_geometry::WeightedPoint;
+use maxrs_stream::Event;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
@@ -37,6 +39,109 @@ pub fn gaussian(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
         .collect()
 }
 
+/// Shape of a generated event stream (see [`event_stream`]).
+///
+/// Defaults: 10k events over the paper's `1M × 1M` space, one time unit per
+/// event, a quarter of the events deleting a live object, ticks sprinkled in,
+/// victims drawn uniformly (no skew), integer weights `0..=3` (zeros
+/// included) and one-in-four coordinates snapped to a coarse grid so the
+/// stream exercises tie-heavy sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventStreamConfig {
+    /// Total number of events to generate.
+    pub events: usize,
+    /// Side length of the coordinate space.
+    pub extent: f64,
+    /// Fraction of events that delete a live object (when one exists).
+    pub delete_fraction: f64,
+    /// Fraction of events that are pure clock ticks.
+    pub tick_fraction: f64,
+    /// How strongly deletes prefer the *oldest* live object: `0.0` picks
+    /// victims uniformly, `1.0` always removes the oldest — emulating the
+    /// FIFO churn a sliding window produces, without requiring one.
+    pub window_skew: f64,
+    /// Probability that a coordinate pair is snapped to a grid of pitch
+    /// `extent / 100` (producing exact coordinate ties).
+    pub snap_fraction: f64,
+    /// Weights are drawn uniformly from the integers `0..=max_weight`
+    /// (exactly representable, so incremental-vs-batch comparisons can be
+    /// bit-for-bit; zero-weight objects are part of the mix).
+    pub max_weight: u32,
+    /// Mean time advance per event (timestamps are non-decreasing).
+    pub mean_dt: f64,
+}
+
+impl Default for EventStreamConfig {
+    fn default() -> Self {
+        EventStreamConfig {
+            events: 10_000,
+            extent: SPACE_EXTENT,
+            delete_fraction: 0.25,
+            tick_fraction: 0.05,
+            window_skew: 0.0,
+            snap_fraction: 0.25,
+            max_weight: 3,
+            mean_dt: 1.0,
+        }
+    }
+}
+
+/// A reproducible insert/delete/tick sequence for the streaming engine,
+/// shared by the incremental-correctness tests and the `stream` experiment
+/// harness (same seed ⇒ same events, byte for byte).
+///
+/// Inserts carry fresh ids (the event index), deletes target live ids with
+/// the configured [`window_skew`](EventStreamConfig::window_skew), and
+/// timestamps advance by `mean_dt` scaled by a uniform factor in `[0, 2)`.
+pub fn event_stream(cfg: &EventStreamConfig, seed: u64) -> Vec<Event> {
+    assert!(cfg.extent > 0.0, "extent must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.delete_fraction)
+            && (0.0..=1.0).contains(&cfg.tick_fraction)
+            && (0.0..=1.0).contains(&cfg.window_skew)
+            && (0.0..=1.0).contains(&cfg.snap_fraction),
+        "fractions must lie in [0, 1]"
+    );
+    assert!(cfg.mean_dt >= 0.0, "mean_dt must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let snap_pitch = cfg.extent / 100.0;
+    let mut events = Vec::with_capacity(cfg.events);
+    let mut live: Vec<u64> = Vec::new(); // insertion order: index 0 is oldest
+    let mut now = 0.0;
+    for i in 0..cfg.events {
+        now += cfg.mean_dt * rng.gen_range(0.0..2.0);
+        let roll: f64 = rng.gen();
+        if roll < cfg.tick_fraction {
+            events.push(Event::tick(now));
+        } else if roll < cfg.tick_fraction + cfg.delete_fraction && !live.is_empty() {
+            // Oldest-first with probability `window_skew`, else uniform.
+            let idx = if rng.gen_bool(cfg.window_skew) {
+                0
+            } else {
+                rng.gen_range(0..live.len())
+            };
+            let victim = live.remove(idx);
+            events.push(Event::delete(victim, now));
+        } else {
+            let (x, y) = if rng.gen_bool(cfg.snap_fraction) {
+                let gx: u32 = rng.gen_range(0..=100);
+                let gy: u32 = rng.gen_range(0..=100);
+                (f64::from(gx) * snap_pitch, f64::from(gy) * snap_pitch)
+            } else {
+                (
+                    rng.gen_range(0.0..cfg.extent),
+                    rng.gen_range(0.0..cfg.extent),
+                )
+            };
+            let weight = f64::from(rng.gen_range(0..=cfg.max_weight));
+            let id = i as u64;
+            events.push(Event::insert(id, x, y, weight, now));
+            live.push(id);
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +176,88 @@ mod tests {
         assert_eq!(uniform(100, 1000.0, 42), uniform(100, 1000.0, 42));
         assert_eq!(gaussian(100, 1000.0, 42), gaussian(100, 1000.0, 42));
         assert_ne!(uniform(100, 1000.0, 1), uniform(100, 1000.0, 2));
+    }
+
+    #[test]
+    fn event_stream_is_reproducible_and_well_formed() {
+        let cfg = EventStreamConfig {
+            events: 2_000,
+            ..Default::default()
+        };
+        let a = event_stream(&cfg, 9);
+        let b = event_stream(&cfg, 9);
+        assert_eq!(a, b, "same seed must reproduce the same stream");
+        assert_ne!(a, event_stream(&cfg, 10));
+        assert_eq!(a.len(), 2_000);
+
+        // Timestamps never decrease; every delete targets a then-live id.
+        let mut live = std::collections::HashSet::new();
+        let mut last = f64::NEG_INFINITY;
+        let (mut inserts, mut deletes, mut ticks, mut zero_weights, mut snapped) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
+        for event in &a {
+            assert!(event.at() >= last);
+            last = event.at();
+            match *event {
+                Event::Insert { id, object, .. } => {
+                    assert!(live.insert(id), "insert reused a live id");
+                    assert!(object.weight >= 0.0 && object.weight <= 3.0);
+                    assert!(object.weight.fract() == 0.0, "weights are integers");
+                    if object.weight == 0.0 {
+                        zero_weights += 1;
+                    }
+                    let pitch = cfg.extent / 100.0;
+                    if object.point.x % pitch == 0.0 && object.point.y % pitch == 0.0 {
+                        snapped += 1;
+                    }
+                    inserts += 1;
+                }
+                Event::Delete { id, .. } => {
+                    assert!(live.remove(&id), "delete of a dead id");
+                    deletes += 1;
+                }
+                Event::Tick { .. } => ticks += 1,
+            }
+        }
+        assert!(inserts > deletes && deletes > 0 && ticks > 0);
+        assert!(zero_weights > 0, "zero-weight objects are part of the mix");
+        assert!(snapped > inserts / 10, "tie-heavy snapping is exercised");
+    }
+
+    #[test]
+    fn window_skew_prefers_the_oldest_victims() {
+        let base = EventStreamConfig {
+            events: 3_000,
+            tick_fraction: 0.0,
+            ..Default::default()
+        };
+        // With full skew every delete removes the oldest live id: victims
+        // appear in strictly increasing id order.
+        let skewed = event_stream(
+            &EventStreamConfig {
+                window_skew: 1.0,
+                ..base
+            },
+            5,
+        );
+        let victims: Vec<u64> = skewed
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Delete { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert!(victims.len() > 100);
+        assert!(victims.windows(2).all(|w| w[0] < w[1]), "FIFO victim order");
+
+        // Without skew some delete must hit a non-oldest object.
+        let uniform_victims: Vec<u64> = event_stream(&base, 5)
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Delete { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert!(uniform_victims.windows(2).any(|w| w[0] > w[1]));
     }
 }

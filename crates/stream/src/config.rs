@@ -1,0 +1,196 @@
+//! Configuration of a [`StreamEngine`](crate::StreamEngine).
+
+use maxrs_core::Query;
+use maxrs_geometry::{RectSize, Weight};
+
+use crate::error::{Result, StreamError};
+
+/// Configuration of a streaming engine: the maintained query, the optional
+/// sliding window and the grid-cell width of the maintenance structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// The query whose answer the engine maintains.  Supported variants:
+    /// [`Query::MaxRs`] and [`Query::TopK`]; MinRS and ApproxMaxCRS have no
+    /// incremental maintenance path yet and are rejected at construction.
+    pub query: Query,
+    /// Sliding-window length in stream time units.  `Some(w)` auto-expires
+    /// every object `w` time units after its insert timestamp; `None` keeps
+    /// objects until they are explicitly deleted.
+    pub window: Option<f64>,
+    /// Width of the maintenance grid's x-cells.  Defaults to the query
+    /// rectangle's width, so each transformed rectangle intersects at most
+    /// two cells and every event dirties O(1) cells.
+    pub cell_width: Option<f64>,
+}
+
+impl StreamConfig {
+    /// A MaxRS maintenance configuration with no window.
+    pub fn max_rs(size: RectSize) -> Self {
+        StreamConfig {
+            query: Query::max_rs(size),
+            window: None,
+            cell_width: None,
+        }
+    }
+
+    /// A top-k (MaxkRS) maintenance configuration with no window.
+    pub fn top_k(size: RectSize, k: usize) -> Self {
+        StreamConfig {
+            query: Query::top_k(size, k),
+            window: None,
+            cell_width: None,
+        }
+    }
+
+    /// Sets the sliding-window length (stream time units; must be positive).
+    pub fn with_window(self, window: f64) -> Self {
+        StreamConfig {
+            window: Some(window),
+            ..self
+        }
+    }
+
+    /// Overrides the maintenance grid's cell width.
+    pub fn with_cell_width(self, cell_width: f64) -> Self {
+        StreamConfig {
+            cell_width: Some(cell_width),
+            ..self
+        }
+    }
+
+    /// The query rectangle extent of the maintained query.
+    pub fn size(&self) -> RectSize {
+        match self.query {
+            Query::MaxRs { size } | Query::TopK { size, .. } => size,
+            // Unreachable after `validate`, but total for robustness.
+            Query::MinRs { size, .. } => size,
+            Query::ApproxMaxCrs { diameter, .. } => RectSize::square(diameter),
+        }
+    }
+
+    /// The effective grid-cell width ([`cell_width`](StreamConfig::cell_width)
+    /// or the query rectangle's width).
+    pub fn effective_cell_width(&self) -> f64 {
+        self.cell_width.unwrap_or_else(|| self.size().width)
+    }
+
+    /// Checks the configuration, mirroring [`Query::validate`] plus the
+    /// stream-specific constraints.
+    pub fn validate(&self) -> Result<()> {
+        self.query.validate().map_err(StreamError::from)?;
+        match self.query {
+            Query::MaxRs { .. } | Query::TopK { .. } => {}
+            Query::MinRs { .. } | Query::ApproxMaxCrs { .. } => {
+                return Err(StreamError::Unsupported(format!(
+                    "{} has no incremental maintenance path (supported: max-rs, top-k)",
+                    self.query.name()
+                )));
+            }
+        }
+        if let Some(w) = self.window {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(StreamError::InvalidParameter(format!(
+                    "sliding window must be positive and finite, got {w}"
+                )));
+            }
+        }
+        if let Some(cw) = self.cell_width {
+            if !(cw > 0.0 && cw.is_finite()) {
+                return Err(StreamError::InvalidParameter(format!(
+                    "cell width must be positive and finite, got {cw}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates one inserted object (finite coordinates, finite non-negative
+/// weight) so no NaN can enter the engine's ordered indexes.
+pub(crate) fn validate_object(x: f64, y: f64, weight: Weight) -> Result<()> {
+    if !(x.is_finite() && y.is_finite()) {
+        return Err(StreamError::InvalidParameter(format!(
+            "object coordinates must be finite, got ({x}, {y})"
+        )));
+    }
+    if !(weight.is_finite() && weight >= 0.0) {
+        return Err(StreamError::InvalidParameter(format!(
+            "object weight must be finite and non-negative, got {weight}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxrs_geometry::Rect;
+
+    #[test]
+    fn supported_queries_validate() {
+        assert!(StreamConfig::max_rs(RectSize::square(2.0))
+            .validate()
+            .is_ok());
+        assert!(StreamConfig::top_k(RectSize::square(2.0), 3)
+            .validate()
+            .is_ok());
+        assert!(StreamConfig::max_rs(RectSize::square(2.0))
+            .with_window(10.0)
+            .with_cell_width(4.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn unsupported_and_invalid_configs_are_rejected() {
+        let min_rs = StreamConfig {
+            query: Query::min_rs(RectSize::square(1.0), Rect::new(0.0, 1.0, 0.0, 1.0)),
+            window: None,
+            cell_width: None,
+        };
+        assert!(matches!(
+            min_rs.validate(),
+            Err(StreamError::Unsupported(_))
+        ));
+        let crs = StreamConfig {
+            query: Query::approx_max_crs(2.0),
+            window: None,
+            cell_width: None,
+        };
+        assert!(matches!(crs.validate(), Err(StreamError::Unsupported(_))));
+        // Invalid underlying query parameters surface as core errors.
+        let bad = StreamConfig::max_rs(RectSize {
+            width: -1.0,
+            height: 1.0,
+        });
+        assert!(matches!(bad.validate(), Err(StreamError::Core(_))));
+        // Stream-specific knobs.
+        let bad_window = StreamConfig::max_rs(RectSize::square(1.0)).with_window(0.0);
+        assert!(matches!(
+            bad_window.validate(),
+            Err(StreamError::InvalidParameter(_))
+        ));
+        let bad_cell = StreamConfig::max_rs(RectSize::square(1.0)).with_cell_width(f64::NAN);
+        assert!(matches!(
+            bad_cell.validate(),
+            Err(StreamError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn effective_cell_width_defaults_to_query_width() {
+        let cfg = StreamConfig::max_rs(RectSize::new(3.0, 7.0));
+        assert_eq!(cfg.effective_cell_width(), 3.0);
+        assert_eq!(cfg.with_cell_width(5.0).effective_cell_width(), 5.0);
+        assert_eq!(cfg.size(), RectSize::new(3.0, 7.0));
+    }
+
+    #[test]
+    fn object_validation() {
+        assert!(validate_object(1.0, 2.0, 0.0).is_ok());
+        assert!(validate_object(f64::NAN, 2.0, 1.0).is_err());
+        assert!(validate_object(1.0, f64::INFINITY, 1.0).is_err());
+        assert!(validate_object(1.0, 2.0, -1.0).is_err());
+        assert!(validate_object(1.0, 2.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type of the streaming subsystem.
+
+use maxrs_core::CoreError;
+
+/// Errors raised by the [`StreamEngine`](crate::StreamEngine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The configured query variant has no incremental maintenance path yet
+    /// (only MaxRS and top-k are supported).
+    Unsupported(String),
+    /// A configuration or event parameter is invalid (non-finite coordinate,
+    /// negative weight, non-positive window, …).
+    InvalidParameter(String),
+    /// An insert reused the id of an object that is still alive.
+    DuplicateId(u64),
+    /// An error bubbled up from the core algorithm layer.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Unsupported(msg) => write!(f, "unsupported stream query: {msg}"),
+            StreamError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            StreamError::DuplicateId(id) => {
+                write!(f, "insert reuses id {id} of a live object")
+            }
+            StreamError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Core(e)
+    }
+}
+
+/// Result alias for the streaming layer.
+pub type Result<T> = std::result::Result<T, StreamError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = StreamError::DuplicateId(7);
+        assert!(e.to_string().contains('7'));
+        let e = StreamError::Unsupported("min-rs".into());
+        assert!(e.to_string().contains("min-rs"));
+        let e: StreamError = CoreError::InvalidParameter("w".into()).into();
+        assert!(matches!(e, StreamError::Core(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(StreamError::DuplicateId(1).source().is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! The event model: timestamped inserts, deletes and clock ticks.
+
+use maxrs_geometry::WeightedPoint;
+
+/// One record of a dynamic-data stream.
+///
+/// Every event carries a timestamp `at` in the stream's logical time unit.
+/// The engine's clock is the running maximum of all seen timestamps, so an
+/// out-of-order event is processed *at* the current clock rather than turning
+/// time backwards (sliding-window expiry is monotone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A new object enters the dataset.
+    Insert {
+        /// Caller-chosen identifier, used by later deletes.  Reusing the id
+        /// of a live object is an error; reusing the id of a deleted or
+        /// expired object is fine.
+        id: u64,
+        /// The object itself (location + non-negative weight).
+        object: WeightedPoint,
+        /// Event timestamp.
+        at: f64,
+    },
+    /// An object leaves the dataset.  Deleting an id that is not alive
+    /// (never inserted, already deleted, or already expired by the sliding
+    /// window) is a no-op, so window-agnostic producers can replay the same
+    /// stream into windowed and unwindowed engines.
+    Delete {
+        /// Identifier of the object to remove.
+        id: u64,
+        /// Event timestamp.
+        at: f64,
+    },
+    /// A pure clock advance: no object changes hands, but a sliding window
+    /// may expire objects up to this timestamp.
+    Tick {
+        /// Event timestamp.
+        at: f64,
+    },
+}
+
+impl Event {
+    /// Convenience constructor for an insert.
+    pub fn insert(id: u64, x: f64, y: f64, weight: f64, at: f64) -> Self {
+        Event::Insert {
+            id,
+            object: WeightedPoint::at(x, y, weight),
+            at,
+        }
+    }
+
+    /// Convenience constructor for a delete.
+    pub fn delete(id: u64, at: f64) -> Self {
+        Event::Delete { id, at }
+    }
+
+    /// Convenience constructor for a tick.
+    pub fn tick(at: f64) -> Self {
+        Event::Tick { at }
+    }
+
+    /// The event's timestamp.
+    pub fn at(&self) -> f64 {
+        match *self {
+            Event::Insert { at, .. } | Event::Delete { at, .. } | Event::Tick { at } => at,
+        }
+    }
+
+    /// A short human-readable name ("insert", "delete", "tick").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Insert { .. } => "insert",
+            Event::Delete { .. } => "delete",
+            Event::Tick { .. } => "tick",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let e = Event::insert(3, 1.0, 2.0, 4.0, 10.0);
+        assert_eq!(e.at(), 10.0);
+        assert_eq!(e.name(), "insert");
+        if let Event::Insert { id, object, .. } = e {
+            assert_eq!(id, 3);
+            assert_eq!(object.weight, 4.0);
+        } else {
+            panic!("not an insert");
+        }
+        assert_eq!(Event::delete(3, 11.0).name(), "delete");
+        assert_eq!(Event::tick(12.0).at(), 12.0);
+        assert_eq!(Event::tick(12.0).name(), "tick");
+    }
+}

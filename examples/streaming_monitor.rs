@@ -1,0 +1,82 @@
+//! Streaming monitor: maintain the best dispatch zone over a live feed of
+//! ride requests with a sliding window — the dynamic-data scenario the
+//! `maxrs-stream` subsystem opens.
+//!
+//! A dispatcher wants to keep one van parked where a 2 km × 2 km service
+//! area covers the most open ride requests *right now*.  Requests appear
+//! (inserts), get fulfilled (deletes) and go stale after ten minutes (the
+//! sliding window).  Recomputing MaxRS from scratch on every change is what
+//! the static engine would do; the [`StreamEngine`] instead re-sweeps only
+//! the grid cells an event touched — and the answers are bit-identical.
+//!
+//! ```text
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use maxrs::{MaxRsEngine, Query, RectSize};
+use maxrs_stream::{Event, StreamConfig, StreamEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Service area 2000 m square, requests go stale after 600 s.
+    let size = RectSize::square(2_000.0);
+    let mut monitor = StreamEngine::new(StreamConfig::max_rs(size).with_window(600.0))?;
+
+    // A deterministic little city: request bursts around three hotspots.
+    let hotspots = [(3_000.0, 4_000.0), (9_000.0, 9_500.0), (15_000.0, 2_500.0)];
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut id = 0u64;
+    let mut open: Vec<u64> = Vec::new();
+    for minute in 0..30 {
+        let now = minute as f64 * 60.0;
+        // A burst of new requests near a rotating hotspot…
+        let (hx, hy) = hotspots[minute % hotspots.len()];
+        for _ in 0..5 {
+            let dx = (next() % 2_000) as f64 - 1_000.0;
+            let dy = (next() % 2_000) as f64 - 1_000.0;
+            monitor.apply(&Event::insert(id, hx + dx, hy + dy, 1.0, now))?;
+            open.push(id);
+            id += 1;
+        }
+        // …and a few fulfilled ones.
+        for _ in 0..2 {
+            if !open.is_empty() {
+                let victim = open.swap_remove((next() % open.len() as u64) as usize);
+                // Fulfilling an already-expired request is a harmless no-op.
+                monitor.apply(&Event::delete(victim, now))?;
+            }
+        }
+
+        if minute % 5 == 4 {
+            let answer = monitor.answer();
+            let best = answer.run.answer.as_max_rs().expect("max-rs answer");
+            println!(
+                "t={now:>6.0}s  open={:<3}  best zone center ({:>7.1}, {:>7.1}) covers {:>2} \
+                 requests   [swept {}/{} cells]",
+                monitor.len(),
+                best.center.x,
+                best.center.y,
+                best.total_weight,
+                answer.stats.cells_swept,
+                answer.stats.cells_total,
+            );
+        }
+    }
+
+    // The incremental answer is exactly what a from-scratch engine computes.
+    let survivors = monitor.survivors();
+    let incremental = monitor.answer();
+    let batch = MaxRsEngine::new().run(&survivors, &Query::max_rs(size))?;
+    assert_eq!(incremental.run.answer, batch.answer);
+    println!(
+        "\nverified: incremental answer == from-scratch recompute over {} open requests",
+        survivors.len()
+    );
+    Ok(())
+}

@@ -9,8 +9,11 @@
 //!   accounting, external sort).
 //! * [`core`] — the algorithms: ExactMaxRS, ApproxMaxCRS, the in-memory plane
 //!   sweep and the exact MaxCRS reference.
+//! * [`stream`] — incremental MaxRS over dynamic data: the sliding-window
+//!   event engine ([`StreamEngine`]) maintaining answers under inserts,
+//!   deletes and window expiry.
 //! * [`datagen`] — the synthetic and real-surrogate dataset generators used by
-//!   the experiments.
+//!   the experiments, including reproducible event streams.
 //! * [`baselines`] — the externalized plane-sweep baselines (Naïve and
 //!   aSB-tree) the paper compares against.
 //!
@@ -52,13 +55,15 @@ pub use maxrs_core as core;
 pub use maxrs_datagen as datagen;
 pub use maxrs_em as em;
 pub use maxrs_geometry as geometry;
+pub use maxrs_stream as stream;
 
 pub use maxrs_core::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, exact_max_crs_in_memory,
     exact_max_rs, exact_max_rs_from_objects, load_objects, max_k_rs_in_memory, max_rs_in_memory,
-    min_rs_in_memory, ApproxMaxCrsOptions, EngineOptions, EngineRun, ExactMaxRsOptions,
-    ExecutionStrategy, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset, Query, QueryAnswer,
-    QueryRun,
+    min_rs_in_memory, ApproxMaxCrsOptions, EngineError, EngineOptions, EngineRun,
+    ExactMaxRsOptions, ExecutionStrategy, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset,
+    Query, QueryAnswer, QueryRun,
 };
 pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
+pub use maxrs_stream::{Event, StreamConfig, StreamEngine};

@@ -1,0 +1,181 @@
+//! Incremental-correctness suite for the streaming subsystem: replaying
+//! random event sequences (≥10k events, coordinate ties and zero-weight
+//! objects included) into a [`StreamEngine`] and asserting that
+//! `StreamEngine::answer()` is **bit-identical** to a from-scratch
+//! [`MaxRsEngine::run`] over the surviving object set at every checkpoint.
+//!
+//! The event sequences come from the shared generator
+//! [`maxrs_datagen::event_stream`] — the same streams the `stream`
+//! experiment harness replays — so a generator change that broke
+//! reproducibility would fail here, not silently skew a benchmark.
+
+use maxrs::{MaxRsEngine, Query, RectSize, WeightedPoint};
+use maxrs_datagen::{event_stream, EventStreamConfig};
+use maxrs_stream::{Event, StreamConfig, StreamEngine};
+use proptest::prelude::*;
+
+/// Replays `events` into a fresh engine and checks the incremental answer
+/// against a from-scratch engine run on the survivors every
+/// `checkpoint_every` events (and once at the end).  Also replays the
+/// survivor set independently so a bookkeeping bug in `survivors()` cannot
+/// mask itself.
+fn assert_replay_matches_batch(
+    events: &[Event],
+    query: &Query,
+    config: StreamConfig,
+    checkpoint_every: usize,
+) {
+    let mut engine = StreamEngine::new(config).expect("valid stream config");
+    let batch = MaxRsEngine::new();
+    let mut reference: Vec<(u64, WeightedPoint)> = Vec::new();
+    let mut checkpoints = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        engine.apply(event).expect("generated events are valid");
+        match *event {
+            Event::Insert { id, object, .. } => reference.push((id, object)),
+            Event::Delete { id, .. } => reference.retain(|&(rid, _)| rid != id),
+            Event::Tick { .. } => {}
+        }
+        if (i + 1) % checkpoint_every == 0 || i + 1 == events.len() {
+            let survivors: Vec<WeightedPoint> = reference.iter().map(|&(_, o)| o).collect();
+            assert_eq!(
+                engine.survivors(),
+                survivors,
+                "survivor bookkeeping diverged after {} events",
+                i + 1
+            );
+            let incremental = engine.answer();
+            let from_scratch = batch.run(&survivors, query).expect("batch run");
+            assert_eq!(
+                incremental.run.answer,
+                from_scratch.answer,
+                "incremental answer diverged from batch after {} events ({} survivors)",
+                i + 1,
+                survivors.len()
+            );
+            checkpoints += 1;
+        }
+    }
+    assert!(checkpoints > 0, "at least one checkpoint must run");
+}
+
+/// The acceptance-criteria run: one ≥10k-event stream with ties and
+/// zero-weight objects, checked against the batch engine at every
+/// 250-event checkpoint.
+#[test]
+fn ten_thousand_event_replay_is_bit_identical_to_batch() {
+    let cfg = EventStreamConfig {
+        events: 12_000,
+        ..Default::default()
+    };
+    let events = event_stream(&cfg, 42);
+    assert!(events.len() >= 10_000);
+    let size = RectSize::square(40_000.0);
+    assert_replay_matches_batch(
+        &events,
+        &Query::max_rs(size),
+        StreamConfig::max_rs(size),
+        250,
+    );
+}
+
+/// Top-k maintenance over the same stream family: the whole placement list
+/// must match the batch greedy at every checkpoint.
+#[test]
+fn top_k_replay_is_bit_identical_to_batch() {
+    let cfg = EventStreamConfig {
+        events: 10_000,
+        ..Default::default()
+    };
+    let events = event_stream(&cfg, 7);
+    let size = RectSize::square(60_000.0);
+    assert_replay_matches_batch(
+        &events,
+        &Query::top_k(size, 3),
+        StreamConfig::top_k(size, 3),
+        500,
+    );
+}
+
+/// Sliding-window mode: the engine expires objects on its own; the reference
+/// survivor set is reconstructed from the same window rule, and answers must
+/// still be bit-identical.
+#[test]
+fn sliding_window_replay_matches_batch_on_window_survivors() {
+    let cfg = EventStreamConfig {
+        events: 10_000,
+        window_skew: 0.7,
+        ..Default::default()
+    };
+    let events = event_stream(&cfg, 21);
+    let window = 400.0;
+    let size = RectSize::square(50_000.0);
+    let query = Query::max_rs(size);
+    let mut engine = StreamEngine::new(StreamConfig::max_rs(size).with_window(window)).unwrap();
+    let batch = MaxRsEngine::new();
+
+    // Reference: (id, object, expiry) with the engine's window rule
+    // (alive while now < insert_time + window; time never runs backwards).
+    let mut reference: Vec<(u64, WeightedPoint, f64)> = Vec::new();
+    let mut now = f64::NEG_INFINITY;
+    for (i, event) in events.iter().enumerate() {
+        engine.apply(event).unwrap();
+        now = now.max(event.at());
+        reference.retain(|&(_, _, exp)| now < exp);
+        match *event {
+            Event::Insert { id, object, .. } => reference.push((id, object, now + window)),
+            Event::Delete { id, .. } => reference.retain(|&(rid, _, _)| rid != id),
+            Event::Tick { .. } => {}
+        }
+        if (i + 1) % 500 == 0 || i + 1 == events.len() {
+            let survivors: Vec<WeightedPoint> = reference.iter().map(|&(_, o, _)| o).collect();
+            assert_eq!(engine.survivors(), survivors, "window survivors diverged");
+            let incremental = engine.answer();
+            let from_scratch = batch.run(&survivors, &query).unwrap();
+            assert_eq!(incremental.run.answer, from_scratch.answer);
+        }
+    }
+    // The window actually did something: fewer survivors than a windowless
+    // replay would keep.
+    let unwindowed_survivors = events
+        .iter()
+        .filter(|e| matches!(e, Event::Insert { .. }))
+        .count()
+        - events
+            .iter()
+            .filter(|e| matches!(e, Event::Delete { .. }))
+            .count();
+    assert!(engine.len() < unwindowed_survivors);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized stream shapes: seeds, delete pressure, tie densities and
+    /// query sizes all vary; every case replays ≥10k events with periodic
+    /// bit-identity checkpoints.
+    #[test]
+    fn random_streams_are_bit_identical_to_batch(
+        seed in 0u64..1_000_000,
+        delete_pct in 0u32..45,
+        snap_pct in 0u32..80,
+        skew_pct in 0u32..100,
+        side in 10u32..90,
+    ) {
+        let cfg = EventStreamConfig {
+            events: 10_000,
+            delete_fraction: f64::from(delete_pct) / 100.0,
+            snap_fraction: f64::from(snap_pct) / 100.0,
+            window_skew: f64::from(skew_pct) / 100.0,
+            ..Default::default()
+        };
+        let events = event_stream(&cfg, seed);
+        let size = RectSize::square(f64::from(side) * 1_000.0);
+        assert_replay_matches_batch(
+            &events,
+            &Query::max_rs(size),
+            StreamConfig::max_rs(size),
+            1_000,
+        );
+    }
+}
