@@ -188,6 +188,59 @@ fn bench_prepared_reuse(c: &mut Criterion) {
     );
 }
 
+/// Batched vs. independent execution of a 4-query serving mix over one
+/// [`PreparedDataset`]: `run_batch` plans MaxRS, top-k and ApproxMaxCRS of
+/// one rectangle size into a single shared sweep group (MinRS gets its own
+/// negated pass), so the batch pays 2 kernel passes where the independent
+/// loop pays 4.  The printed footer records the per-path I/O so the bench
+/// output documents *why* the batched path wins.
+fn bench_engine_batch(c: &mut Criterion) {
+    use maxrs_bench::runner::run_query_batch;
+
+    let config = EmConfig::new(4096, 64 * 4096).unwrap();
+    let ds = Dataset::generate(DatasetKind::Uniform, 30_000, 31);
+    let size = RectSize::square(20_000.0);
+    let domain = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
+    let queries = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 2),
+        Query::approx_max_crs(20_000.0),
+        Query::min_rs(size, domain),
+    ];
+
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+
+    let engine = MaxRsEngine::with_em_config(config);
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, &ds.objects).unwrap();
+    let prepared = engine.prepare_file(&ctx, &file).unwrap();
+    group.bench_function("run_batch_4_queries", |b| {
+        b.iter(|| prepared.run_batch(&queries).unwrap());
+    });
+    group.bench_function("independent_4_queries", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| prepared.run(q).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    drop(prepared);
+    group.finish();
+
+    let row = run_query_batch(config, &ds.objects, &queries, 1).unwrap();
+    println!(
+        "engine_batch: backend={} groups={}/{} batch_io={} independent_io={} verified={}",
+        row.backend,
+        row.groups,
+        row.queries.len(),
+        row.batch_io,
+        row.independent_io,
+        row.verified
+    );
+}
+
 /// Incremental vs. from-scratch answering over a dynamic dataset: build a
 /// streamed dataset once, then measure (a) one event + one incremental
 /// answer (the steady-state cost of the maintenance loop) against (b) one
@@ -280,6 +333,7 @@ criterion_group!(
     bench_engine_parallelism,
     bench_engine_variants,
     bench_prepared_reuse,
+    bench_engine_batch,
     bench_engine_stream
 );
 criterion_main!(benches);

@@ -26,12 +26,12 @@ use maxrs_bench::figures::{
 };
 use maxrs_bench::json::Value;
 use maxrs_bench::report::FigureReport;
-use maxrs_bench::runner::{run_prepared_reuse, PreparedReuseRun};
+use maxrs_bench::runner::{run_prepared_reuse, run_query_batch, BatchRun, PreparedReuseRun};
 use maxrs_bench::stream_run::{run_stream, StreamRun};
 use maxrs_bench::tables::{table2, table3};
 use maxrs_core::Query;
 use maxrs_datagen::{Dataset, DatasetKind, EventStreamConfig};
-use maxrs_geometry::RectSize;
+use maxrs_geometry::{Rect, RectSize};
 use maxrs_stream::StreamConfig;
 
 struct Args {
@@ -76,7 +76,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: experiments <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|stream> \
+    "usage: experiments \
+     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
 }
 
@@ -135,6 +136,41 @@ fn prepared_reuse(opts: &FigureOptions) -> Vec<PreparedReuseRun> {
         run_prepared_reuse(config, &ds.objects, q, 1).expect("prepared-reuse measurement failed")
     })
     .collect()
+}
+
+/// Batched-vs-independent execution of a serving-style query mix over one
+/// prepared dataset: two mixes — one where every query shares a single sweep
+/// group (the best case) and one mixed-size/mixed-variant workload — each
+/// verified bit-identical against per-query runs and reported as
+/// queries/sec + per-query I/O JSON rows.
+fn batch_runs(opts: &FigureOptions) -> Vec<BatchRun> {
+    let n = opts.scale.cardinality(PAPER_CARDINALITY);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let ds = Dataset::generate(DatasetKind::Uniform, n, opts.seed);
+    let size = RectSize::square(PAPER_RANGE);
+    let domain = Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0);
+    let shared_group: Vec<Query> = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 3),
+        Query::approx_max_crs(PAPER_RANGE),
+        Query::max_rs(size),
+    ];
+    let mixed: Vec<Query> = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 2),
+        Query::approx_max_crs(PAPER_RANGE),
+        Query::min_rs(size, domain),
+        Query::max_rs(RectSize::square(PAPER_RANGE * 2.0)),
+    ];
+    [shared_group, mixed]
+        .iter()
+        .map(|queries| {
+            let run =
+                run_query_batch(config, &ds.objects, queries, 1).expect("batch measurement failed");
+            assert!(run.verified, "batched answers diverged from per-query runs");
+            run
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -225,6 +261,30 @@ fn main() -> ExitCode {
         }
         println!("[prepared took {:.1?}]", t.elapsed());
     }
+    let mut batch_rows: Vec<BatchRun> = Vec::new();
+    if matches!(command, "batch" | "all") {
+        let t = Instant::now();
+        batch_rows = batch_runs(&opts);
+        println!("\nbatch (shared sweep passes vs. independent runs, verified):");
+        for row in &batch_rows {
+            println!(
+                "  [{}] backend={:<4} n={} groups={}/{} batch={:.1?}/{} ({:.0} q/s) \
+                 independent={:.1?}/{} ({:.0} q/s)",
+                row.queries.join(","),
+                row.backend,
+                row.n,
+                row.groups,
+                row.queries.len(),
+                std::time::Duration::from_nanos(row.batch_ns as u64),
+                row.batch_io,
+                row.batch_qps(),
+                std::time::Duration::from_nanos(row.independent_ns as u64),
+                row.independent_io,
+                row.independent_qps(),
+            );
+        }
+        println!("[batch took {:.1?}]", t.elapsed());
+    }
     let mut stream_rows: Vec<StreamRun> = Vec::new();
     if matches!(command, "stream" | "all") {
         let t = Instant::now();
@@ -262,6 +322,7 @@ fn main() -> ExitCode {
             | "table2"
             | "table3"
             | "prepared"
+            | "batch"
             | "stream"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
@@ -273,6 +334,7 @@ fn main() -> ExitCode {
             .iter()
             .map(FigureReport::to_value)
             .chain(prepared_rows.iter().map(PreparedReuseRun::to_value))
+            .chain(batch_rows.iter().map(BatchRun::to_value))
             .chain(stream_rows.iter().map(StreamRun::to_value))
             .collect();
         let count = values.len();

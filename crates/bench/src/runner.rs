@@ -5,7 +5,7 @@ use std::time::Instant;
 use maxrs_baselines::{asb_tree_sweep, naive_sweep, Algorithm};
 use maxrs_core::{
     exact_max_rs, load_objects, EngineOptions, EngineRun, ExactMaxRsOptions, MaxRsEngine,
-    MaxRsResult, Query, QueryRun,
+    MaxRsResult, Query, QueryBatch, QueryRun,
 };
 use maxrs_em::{EmConfig, EmContext, IoSnapshot};
 use maxrs_geometry::{RectSize, WeightedPoint};
@@ -150,7 +150,7 @@ impl PreparedReuseRun {
             ("warm_io", Value::Number(self.warm_io.total() as f64)),
             (
                 "io_saved_per_query",
-                Value::Number(self.cold_io.total().saturating_sub(self.warm_io.total()) as f64),
+                Value::Number(self.cold_io.total_delta(&self.warm_io) as f64),
             ),
         ])
     }
@@ -200,6 +200,145 @@ pub fn run_prepared_reuse(
         cold_io: cold.io,
         prepare_io: prepared.prepare_io(),
         warm_io: warm.io,
+    })
+}
+
+/// One batched-vs-independent comparison over a shared
+/// [`PreparedDataset`](maxrs_core::PreparedDataset): the same M queries
+/// answered by one `run_batch` (shared sweep passes) and by M independent
+/// `run` calls, with wall-clock, I/O, throughput and the per-query I/O
+/// attribution recorded for the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRun {
+    /// Storage-backend name of the context ("sim", "fs").
+    pub backend: String,
+    /// Dataset cardinality.
+    pub n: u64,
+    /// Short names of the batched queries, in batch order.
+    pub queries: Vec<String>,
+    /// Number of shared sweep groups the batch planned into.
+    pub groups: usize,
+    /// Wall-clock of the one `run_batch` call, in nanoseconds.
+    pub batch_ns: u128,
+    /// Blocks transferred by the batch.
+    pub batch_io: IoSnapshot,
+    /// Wall-clock of the M independent `run` calls, in nanoseconds.
+    pub independent_ns: u128,
+    /// Blocks transferred by the independent runs.
+    pub independent_io: IoSnapshot,
+    /// Per-query I/O attribution of the batch (leader-attributed shared
+    /// passes; sums to `batch_io`).
+    pub per_query_io: Vec<IoSnapshot>,
+    /// Whether every batched answer was bit-identical to its independent run.
+    pub verified: bool,
+}
+
+impl BatchRun {
+    /// Queries per second achieved by the batched path.
+    pub fn batch_qps(&self) -> f64 {
+        self.queries.len() as f64 / (self.batch_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Queries per second achieved by the independent path.
+    pub fn independent_qps(&self) -> f64 {
+        self.queries.len() as f64 / (self.independent_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Serializes the comparison for the experiment harness's JSON output:
+    /// queries/sec for both paths plus a per-query I/O row per batched query.
+    pub fn to_value(&self) -> Value {
+        let per_query: Vec<Value> = self
+            .queries
+            .iter()
+            .zip(&self.per_query_io)
+            .map(|(name, io)| {
+                Value::object(vec![
+                    ("query", Value::String(name.clone())),
+                    ("io", Value::Number(io.total() as f64)),
+                    ("reads", Value::Number(io.reads as f64)),
+                    ("writes", Value::Number(io.writes as f64)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("id", Value::String("batch".into())),
+            ("backend", Value::String(self.backend.clone())),
+            ("n", Value::Number(self.n as f64)),
+            ("queries", Value::Number(self.queries.len() as f64)),
+            ("groups", Value::Number(self.groups as f64)),
+            ("batch_ns", Value::Number(self.batch_ns as f64)),
+            ("batch_io", Value::Number(self.batch_io.total() as f64)),
+            ("batch_qps", Value::Number(self.batch_qps())),
+            ("independent_ns", Value::Number(self.independent_ns as f64)),
+            (
+                "independent_io",
+                Value::Number(self.independent_io.total() as f64),
+            ),
+            ("independent_qps", Value::Number(self.independent_qps())),
+            (
+                "io_saved",
+                Value::Number(self.independent_io.total_delta(&self.batch_io) as f64),
+            ),
+            ("per_query", Value::Array(per_query)),
+            ("verified", Value::Bool(self.verified)),
+        ])
+    }
+}
+
+/// Measures batched vs. independent execution of `queries` over one prepared
+/// dataset under a fresh EM context (dataset loading and the one-time
+/// preparation excluded from both measured paths, as usual).  The batch runs
+/// first, so buffer-pool warmth favors the independent baseline and the
+/// reported savings stay conservative.
+pub fn run_query_batch(
+    config: EmConfig,
+    objects: &[WeightedPoint],
+    queries: &[Query],
+    parallelism: usize,
+) -> maxrs_core::Result<BatchRun> {
+    let engine = MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions {
+            parallelism,
+            ..Default::default()
+        },
+        force_strategy: None,
+    });
+    let ctx = EmContext::new(config);
+    let file = load_objects(&ctx, objects)?;
+    let prepared = engine.prepare_file(&ctx, &file)?;
+    let batch = QueryBatch::new(queries)?;
+
+    let before = ctx.stats();
+    let t = Instant::now();
+    let batched = prepared.run_planned(&batch)?;
+    let batch_ns = t.elapsed().as_nanos();
+    let batch_io = ctx.stats().delta(&before);
+
+    let before = ctx.stats();
+    let t = Instant::now();
+    let independent: Vec<QueryRun> = queries
+        .iter()
+        .map(|q| prepared.run(q))
+        .collect::<maxrs_core::Result<_>>()?;
+    let independent_ns = t.elapsed().as_nanos();
+    let independent_io = ctx.stats().delta(&before);
+
+    let verified = batched
+        .iter()
+        .zip(&independent)
+        .all(|(b, s)| b.answer == s.answer);
+    Ok(BatchRun {
+        backend: ctx.backend_name().to_string(),
+        n: file.len(),
+        queries: queries.iter().map(|q| q.name().to_string()).collect(),
+        groups: batch.num_groups(),
+        batch_ns,
+        batch_io,
+        independent_ns,
+        independent_io,
+        per_query_io: batched.iter().map(|r| r.io).collect(),
+        verified,
     })
 }
 
@@ -287,7 +426,45 @@ mod tests {
         assert!(json.get("warm_ns").unwrap().as_f64().unwrap() >= 0.0);
         assert_eq!(
             json.get("io_saved_per_query").unwrap().as_f64().unwrap(),
-            (run.cold_io.total() - run.warm_io.total()) as f64
+            run.cold_io.total_delta(&run.warm_io) as f64
+        );
+    }
+
+    #[test]
+    fn batch_run_verifies_and_beats_independent_io() {
+        use maxrs_geometry::Rect;
+
+        let ds = Dataset::generate(DatasetKind::Uniform, 2500, 13);
+        let config = EmConfig::new(512, 32 * 512).unwrap();
+        let size = RectSize::square(60_000.0);
+        let queries = vec![
+            Query::max_rs(size),
+            Query::top_k(size, 2),
+            Query::approx_max_crs(60_000.0),
+            Query::min_rs(size, Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0)),
+        ];
+        let run = run_query_batch(config, &ds.objects, &queries, 1).unwrap();
+        assert!(run.verified, "batched answers diverged");
+        assert_eq!(run.backend, config.backend.name());
+        assert_eq!(run.queries.len(), 4);
+        assert_eq!(run.groups, 2, "three variants share one sweep group");
+        assert!(
+            run.batch_io.total() < run.independent_io.total(),
+            "batch {} vs independent {}",
+            run.batch_io,
+            run.independent_io
+        );
+        // Leader attribution sums to the measured batch total.
+        let attributed: u64 = run.per_query_io.iter().map(|io| io.total()).sum();
+        assert_eq!(attributed, run.batch_io.total());
+
+        let json = run.to_value();
+        assert_eq!(json.get("id").unwrap().as_str(), Some("batch"));
+        assert_eq!(json.get("groups").unwrap().as_f64(), Some(2.0));
+        assert!(json.get("batch_qps").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            json.get("io_saved").unwrap().as_f64().unwrap(),
+            run.independent_io.total_delta(&run.batch_io) as f64
         );
     }
 

@@ -20,10 +20,11 @@ use maxrs_em::{EmContext, TupleFile};
 use maxrs_geometry::{Point, RectSize, WeightedPoint};
 
 use crate::error::{CoreError, Result};
-use crate::exact::{exact_max_rs, exact_max_rs_presorted, load_objects, ExactMaxRsOptions};
+use crate::exact::{load_objects, ExactMaxRsOptions};
 use crate::plane_sweep::max_rs_in_memory;
 use crate::records::ObjectRecord;
 use crate::result::MaxCrsResult;
+use crate::sweep::SweepPass;
 
 /// Lower bound of the admissible sigma-fraction interval, `(√2 − 1)/2` ≈
 /// 0.2071.  A valid shifting distance satisfies
@@ -63,9 +64,8 @@ pub fn approx_max_crs(
 
 /// [`approx_max_crs`] over an object file already sorted by x (see
 /// [`sort_objects_by_x`](crate::exact::sort_objects_by_x)): the MaxRS step
-/// of Algorithm 3 runs through
-/// [`exact_max_rs_presorted`], skipping the external sort.  Used by
-/// [`PreparedDataset`](crate::PreparedDataset).
+/// of Algorithm 3 runs through a presorted [`SweepPass`], skipping the
+/// external sort.  Used by [`PreparedDataset`](crate::PreparedDataset).
 pub fn approx_max_crs_presorted(
     ctx: &EmContext,
     sorted_objects: &TupleFile<ObjectRecord>,
@@ -97,18 +97,39 @@ fn approx_max_crs_impl(
         return Ok(MaxCrsResult::empty());
     }
 
-    // 1. Solve MaxRS on the MBRs of the circles (d x d squares).
-    let rect_result = if presorted {
-        exact_max_rs_presorted(ctx, objects, RectSize::square(diameter), &opts.exact)?
+    // 1. Solve MaxRS on the MBRs of the circles (d x d squares): one sweep
+    // kernel pass, sort-free when the input is presorted.
+    let pass = if presorted {
+        SweepPass::presorted(ctx, &opts.exact)
     } else {
-        exact_max_rs(ctx, objects, RectSize::square(diameter), &opts.exact)?
+        SweepPass::new(ctx, &opts.exact)
     };
-    let p0 = rect_result.center;
+    let rect_result = pass.max_rs(objects, RectSize::square(diameter))?;
 
-    // 2. Candidate points: p0 plus the four diagonally shifted points.
-    let candidates = candidate_points(p0, diameter, opts.sigma_fraction);
+    // 2 + 3. Shift, evaluate, pick (shared with the batched executor, which
+    // reuses one MaxRS pass for several piggybacked queries).
+    refine_from_p0(
+        ctx,
+        objects,
+        rect_result.center,
+        diameter,
+        opts.sigma_fraction,
+    )
+}
 
-    // 3. One scan of the object file evaluates all candidates.
+/// Steps 2–3 of Algorithm 3 given the MaxRS centroid `p0`: generate the five
+/// candidate points and evaluate their circular range sums with one scan of
+/// the object file.  Shared by [`approx_max_crs`] and the batched executor,
+/// which piggybacks this refinement on a MaxRS sweep other queries already
+/// paid for.
+pub(crate) fn refine_from_p0(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    p0: Point,
+    diameter: f64,
+    sigma_fraction: f64,
+) -> Result<MaxCrsResult> {
+    let candidates = candidate_points(p0, diameter, sigma_fraction);
     let weights = evaluate_candidates(ctx, objects, &candidates, diameter)?;
     Ok(best_candidate(&candidates, &weights))
 }
@@ -118,7 +139,7 @@ fn approx_max_crs_impl(
 /// evaluation done by a direct pass over the slice.
 ///
 /// Because the external pipeline reports canonical max-regions (see
-/// [`crate::exact`], "Canonical max-regions"), this returns the identical
+/// [`crate::sweep`], "Canonical max-regions"), this returns the identical
 /// answer to [`approx_max_crs`] on the same data — the engine's determinism
 /// tests rely on that.
 ///

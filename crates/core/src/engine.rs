@@ -21,23 +21,23 @@
 //! ApproxMaxCRS all reduce to (rounds of) the rectangle distribution sweep,
 //! so a variant query on a billion-object file runs the identical slab
 //! pipeline and parallel MergeSweep as plain MaxRS.  Because the external
-//! pipeline reports canonical max-regions (see [`crate::exact`]), every
+//! pipeline reports canonical max-regions (see [`crate::sweep`]), every
 //! strategy returns the *identical* answer, not merely one of equal weight.
+//! Several queries against one dataset batch into shared sweep passes via
+//! [`MaxRsEngine::run_batch`] (see [`crate::batch`]).
 
 use maxrs_em::{EmConfig, EmContext, IoSnapshot, TupleFile};
-use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
+use maxrs_geometry::{RectSize, WeightedPoint};
 
-use crate::approx::{approx_max_crs_in_memory, approx_max_crs_presorted, ApproxMaxCrsOptions};
+use crate::approx::approx_max_crs_in_memory;
+use crate::batch::QueryBatch;
 use crate::error::{EngineError, Result};
-use crate::exact::{
-    distribution_sweep_presorted, exact_max_rs_presorted, next_breakpoint_after,
-    transform_to_scaled_rect_file, ExactMaxRsOptions,
-};
-use crate::extensions::{max_k_rs_in_memory, min_rs_in_memory, min_strip_scan};
+use crate::exact::ExactMaxRsOptions;
+use crate::extensions::{max_k_rs_in_memory, min_rs_in_memory};
 use crate::plane_sweep::max_rs_in_memory;
 use crate::query::{Query, QueryAnswer, QueryRun};
 use crate::records::{ObjectRecord, RectRecord};
-use crate::result::{MaxCrsResult, MaxRsResult};
+use crate::result::MaxRsResult;
 
 /// How a MaxRS query was (or would be) executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -342,6 +342,49 @@ impl MaxRsEngine {
         })
     }
 
+    /// Answers a whole batch of queries over one dataset in shared sweep
+    /// passes: the batched sibling of [`run`](MaxRsEngine::run).
+    ///
+    /// Queries are planned into sweep groups ([`QueryBatch`]) so each
+    /// distinct transform/sweep runs once — MaxRS, top-k and ApproxMaxCRS of
+    /// one rectangle size share a single kernel pass, MinRS queries sharing a
+    /// domain x-slab share a negated one — and independent groups execute
+    /// concurrently on the worker pool.  Answers are bit-identical to
+    /// per-query [`run`](MaxRsEngine::run) calls on the same data for
+    /// integer-valued weights (arbitrary floats carry the usual association
+    /// caveat of concurrent execution, see [`crate::batch`]); runs come
+    /// back in query order.  The one-time preparation I/O (the external
+    /// x-sort) and each group's shared pass are attributed to the first query
+    /// they serve, so the runs' I/O sums to the true total (see
+    /// [`crate::batch`], "I/O attribution").
+    pub fn run_batch(&self, objects: &[WeightedPoint], queries: &[Query]) -> Result<Vec<QueryRun>> {
+        let batch = QueryBatch::new(queries)?;
+        if batch.is_empty() {
+            // Nothing to answer: don't pay the preparation sort for no one.
+            return Ok(Vec::new());
+        }
+        let (strategy, _) = self.select_strategy(objects.len() as u64);
+        if strategy == ExecutionStrategy::InMemory {
+            self.guard_in_memory_capacity(objects.len() as u64, self.opts.em_config)?;
+            return Ok(batch
+                .queries()
+                .iter()
+                .map(|q| QueryRun {
+                    answer: answer_in_memory(objects, q),
+                    strategy,
+                    workers: 1,
+                    io: IoSnapshot::default(),
+                })
+                .collect());
+        }
+        let prepared = self.prepare(objects)?;
+        let mut runs = prepared.run_planned(&batch)?;
+        if let Some(first) = runs.first_mut() {
+            first.io = first.io + prepared.prepare_io();
+        }
+        Ok(runs)
+    }
+
     /// Solves a MaxRS query over an in-memory object slice: shorthand for
     /// [`run`](MaxRsEngine::run) with [`Query::MaxRs`].
     ///
@@ -368,62 +411,6 @@ impl MaxRsEngine {
         self.run_file(ctx, objects, &Query::MaxRs { size })
             .map(engine_run_of)
     }
-}
-
-/// Runs a query externally over an object file **already sorted by x** (the
-/// retained file of a [`PreparedDataset`](crate::PreparedDataset)): one
-/// sort-free distribution-sweep pass for MaxRS / MinRS / ApproxMaxCRS,
-/// suppression rounds for top-k (each round's filter preserves the x-order,
-/// so no round ever sorts).  Reports I/O as the delta of `ctx`'s counters
-/// across the query.
-pub(crate) fn run_external_presorted(
-    ctx: &EmContext,
-    sorted: &TupleFile<ObjectRecord>,
-    query: &Query,
-    strategy: ExecutionStrategy,
-    workers: usize,
-    base: &ExactMaxRsOptions,
-) -> Result<QueryRun> {
-    let exact_opts = ExactMaxRsOptions {
-        parallelism: if strategy == ExecutionStrategy::ExternalParallel {
-            workers
-        } else {
-            1
-        },
-        ..*base
-    };
-    // Report what actually runs: even a forced ExternalParallel degrades
-    // to the sequential sweep when the buffer-size cap leaves one worker
-    // (see `ExactMaxRsOptions::effective_parallelism`), and the run must
-    // say so rather than echo the request.
-    let actual_workers = exact_opts.effective_parallelism(ctx.config());
-    let actual_strategy = if actual_workers > 1 {
-        ExecutionStrategy::ExternalParallel
-    } else {
-        ExecutionStrategy::ExternalSequential
-    };
-    let before = ctx.stats();
-    let answer = match *query {
-        Query::MaxRs { size } => {
-            QueryAnswer::MaxRs(exact_max_rs_presorted(ctx, sorted, size, &exact_opts)?)
-        }
-        Query::TopK { size, k } => {
-            QueryAnswer::TopK(top_k_external(ctx, sorted, size, k, &exact_opts)?)
-        }
-        Query::MinRs { size, domain } => {
-            QueryAnswer::MinRs(min_rs_external(ctx, sorted, size, domain, &exact_opts)?)
-        }
-        Query::ApproxMaxCrs { diameter, .. } => {
-            let sigma = query.sigma_fraction().expect("approx variant has a sigma");
-            QueryAnswer::MaxCrs(approx_external(ctx, sorted, diameter, sigma, &exact_opts)?)
-        }
-    };
-    Ok(QueryRun {
-        answer,
-        strategy: actual_strategy,
-        workers: actual_workers,
-        io: ctx.stats().since(&before),
-    })
 }
 
 /// Converts a MaxRS-variant [`QueryRun`] into the narrower [`EngineRun`].
@@ -455,190 +442,12 @@ pub(crate) fn answer_in_memory(objects: &[WeightedPoint], query: &Query) -> Quer
     }
 }
 
-/// External top-k (MaxkRS): greedy suppression rounds over the EM pipeline.
-///
-/// Each round solves MaxRS on the remaining objects, then one transform-aware
-/// scan ([`EmContext::filter_map_file`]) suppresses the objects covered by the
-/// chosen placement — the external analogue of
-/// [`max_k_rs_in_memory`]'s `retain`, and the same answers: round `r` sees
-/// exactly the objects the in-memory greedy sees, because canonical
-/// max-regions make every round's center strategy-independent.
-///
-/// The input must be sorted by x; the suppression filter preserves that
-/// order, so *no* round pays an external sort
-/// ([`exact_max_rs_presorted`] throughout).
-fn top_k_external(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    k: usize,
-    opts: &ExactMaxRsOptions,
-) -> Result<Vec<MaxRsResult>> {
-    // At most one placement per object exists, so a huge k must not
-    // pre-allocate k slots (mirrors `max_k_rs_in_memory`).
-    let mut results = Vec::with_capacity(k.min(objects.len() as usize));
-    let mut current: Option<TupleFile<ObjectRecord>> = None;
-    let mut rounds = || -> Result<()> {
-        for _ in 0..k {
-            let remaining = current.as_ref().unwrap_or(objects);
-            if remaining.is_empty() {
-                break;
-            }
-            let best = exact_max_rs_presorted(ctx, remaining, size, opts)?;
-            if best.total_weight <= 0.0 {
-                break;
-            }
-            let chosen = Rect::centered_at(best.center, size);
-            let next = ctx.filter_map_file(remaining, |rec: ObjectRecord| {
-                if chosen.contains_open(&rec.0.point) {
-                    None
-                } else {
-                    Some(rec)
-                }
-            })?;
-            if let Some(f) = current.take() {
-                ctx.delete_file(f)?;
-            }
-            current = Some(next);
-            results.push(best);
-        }
-        Ok(())
-    };
-    let outcome = rounds();
-    // The last suppression file is a temporary either way.
-    if let Some(f) = current.take() {
-        let _ = ctx.delete_file(f);
-    }
-    outcome.map(|()| results)
-}
-
-/// External MinRS: a weight-negated distribution sweep over the domain's
-/// x-slab, followed by the same domain-clipped strip scan as
-/// [`min_rs_in_memory`] — streamed over the final slab-file instead of an
-/// in-memory tuple list.  The input must be sorted by x, so the negated
-/// rectangle file is already in center-x order and the sweep runs sort-free.
-fn min_rs_external(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    domain: Rect,
-    opts: &ExactMaxRsOptions,
-) -> Result<MaxRsResult> {
-    if objects.is_empty() {
-        return Ok(MaxRsResult {
-            center: domain.center(),
-            total_weight: 0.0,
-            region: domain,
-        });
-    }
-    if domain.x_lo == domain.x_hi || domain.y_lo == domain.y_hi {
-        // A degenerate domain — a point or a segment of admissible centers —
-        // has no positive-area arrangement cell for the distribution sweep to
-        // report.  Delegate to the in-memory reference after one scan: its
-        // 1D segment sweep needs the stabbed intervals, whose count the EM
-        // model does not bound by M.  Acceptable for this corner case, and
-        // exact parity with `min_rs_in_memory` by construction (the slice
-        // arrives in x-sorted rather than insertion order, which the sweep's
-        // own event sort makes irrelevant).
-        let records = ctx.read_all(objects)?;
-        let points: Vec<WeightedPoint> = records.iter().map(|r| r.0).collect();
-        return Ok(min_rs_in_memory(&points, size, domain));
-    }
-    let slab = Interval::new(domain.x_lo, domain.x_hi);
-    let rects = transform_to_scaled_rect_file(ctx, objects, size, -1.0)?;
-    let slab_file = distribution_sweep_presorted(ctx, rects, slab, opts)?;
-
-    // The same strip scan as `min_rs_in_memory` — one shared implementation
-    // (see `extensions::min_strip_scan`), here streamed over the final
-    // slab-file instead of an in-memory tuple list.
-    let scan = {
-        let mut reader = ctx.open_reader(&slab_file);
-        let tuples = std::iter::from_fn(|| match reader.next_record() {
-            Ok(Some(t)) => Some(Ok(t)),
-            Ok(None) => None,
-            Err(e) => Some(Err(e.into())),
-        });
-        min_strip_scan(tuples, slab, domain)
-    };
-    // Delete the slab file before propagating a scan error so a failed query
-    // leaves no orphans on a long-lived context.
-    ctx.delete_file(slab_file)?;
-    let best = scan?;
-
-    match best {
-        None => {
-            // Unreachable for a non-degenerate domain (the strips partition
-            // the plane, so one of them clips to positive height), but kept
-            // as a defensive mirror of the in-memory fallback: evaluate the
-            // domain center directly with one scan of the object file.
-            let center = domain.center();
-            let query_rect = Rect::centered_at(center, size);
-            let mut total = 0.0;
-            let mut reader = ctx.open_reader(objects);
-            while let Some(rec) = reader.next_record()? {
-                if query_rect.contains_open(&rec.0.point) {
-                    total += rec.0.weight;
-                }
-            }
-            Ok(MaxRsResult {
-                center,
-                total_weight: total,
-                region: domain,
-            })
-        }
-        Some((negated_sum, x, y, from_tuple)) => {
-            let x = if from_tuple {
-                // Widen the refined cell back to the full arrangement cell of
-                // the domain slab (see `crate::exact`, canonical max-regions).
-                let hi = next_breakpoint_after(ctx, objects, size, slab, x.lo)?;
-                Interval::new(x.lo, hi.max(x.hi))
-            } else {
-                x
-            };
-            let center = Point::new(
-                x.representative().clamp(domain.x_lo, domain.x_hi),
-                y.representative().clamp(domain.y_lo, domain.y_hi),
-            );
-            Ok(MaxRsResult {
-                center,
-                // `0.0 - x` rather than `-x`: an uncovered minimum is +0.0,
-                // not the confusing "-0" a plain negation would display
-                // (mirrors `min_rs_in_memory`).
-                total_weight: 0.0 - negated_sum,
-                region: Rect::new(x.lo, x.hi, y.lo, y.hi),
-            })
-        }
-    }
-}
-
-/// External ApproxMaxCRS (Algorithm 3) with an engine-supplied σ: exactly
-/// [`approx_max_crs_presorted`] — the MBR transform *is* the MaxRS transform
-/// with a `d × d` square, so the full sort-free EM slab pipeline (and its
-/// parallel stage) is reused verbatim, followed by the 5-candidate refinement
-/// in one scan.
-fn approx_external(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    diameter: f64,
-    sigma_fraction: f64,
-    opts: &ExactMaxRsOptions,
-) -> Result<MaxCrsResult> {
-    approx_max_crs_presorted(
-        ctx,
-        objects,
-        diameter,
-        &ApproxMaxCrsOptions {
-            sigma_fraction,
-            exact: *opts,
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exact::load_objects;
     use crate::reference::rect_objective;
+    use maxrs_geometry::Rect;
 
     fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
         let mut state = seed.max(1);

@@ -11,35 +11,27 @@
 //!    into `m = Θ(M/B)` sub-slabs, distribute the rectangles
 //!    ([`crate::slab::distribute`]), solve each sub-slab recursively and
 //!    combine the child slab-files with [`merge_sweep`](crate::merge_sweep()).
-//! 4. **Extract** the best tuple of the final slab-file: its max-interval and
-//!    the strip up to the next tuple form the reported max-region; the
-//!    centroid of that region is an optimal location.
+//! 4. **Extract** the best tuple of the final slab-file and **canonicalize**
+//!    it (widen to the full arrangement cell — see [`crate::sweep`],
+//!    "Canonical max-regions").
 //!
-//! # Canonical max-regions
-//!
-//! The distribution sweep reports the same *maximum weight* as the in-memory
-//! plane sweep, but its slab boundaries subdivide the x-axis more finely than
-//! the rectangle-edge arrangement alone, so the winning tuple's x-interval can
-//! be a strict sub-interval of the arrangement cell the in-memory sweep would
-//! report.  [`exact_max_rs`] therefore *widens* the winning interval back to
-//! the full arrangement cell with one extra `O(N/B)` scan of the object file
-//! (see [`next_breakpoint_after`]): both sweeps break ties leftmost-first and
-//! agree on the winning event `y`, so after widening the external result —
-//! center, weight **and** max-region — is bit-for-bit identical to
-//! [`max_rs_in_memory`](crate::plane_sweep::max_rs_in_memory()).  The unified
-//! query layer ([`crate::engine::MaxRsEngine::run`]) relies on this to give
-//! every `Query` variant strategy-independent answers.
+//! All four stages live in the **sweep kernel** ([`crate::sweep::SweepPass`]);
+//! this module keeps the classic entry point [`exact_max_rs`] — one kernel
+//! pass with identity weights over an unbounded root slab — together with its
+//! tuning knobs ([`ExactMaxRsOptions`]) and the object-file helpers.  Callers
+//! that need a different input order, a weight scale or a root slab (the
+//! prepared fast path, MinRS, the batched executor) parameterize a
+//! [`SweepPass`] directly instead of going through per-variant forks of this
+//! pipeline.
 
 use maxrs_em::{external_sort_by_key, EmConfig, EmContext, TupleFile};
-use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
+use maxrs_geometry::{RectSize, WeightedPoint};
 
 use crate::error::{CoreError, Result};
-use crate::merge_sweep::{merge_sweep, merge_sweep_tree};
-use crate::parallel::{available_parallelism, parallel_map};
-use crate::plane_sweep::plane_sweep_slab;
-use crate::records::{ObjectRecord, RectRecord, SlabTuple};
+use crate::parallel::available_parallelism;
+use crate::records::ObjectRecord;
 use crate::result::MaxRsResult;
-use crate::slab::{compute_partition, distribute, BoundarySource};
+use crate::sweep::SweepPass;
 
 /// Minimum buffer-pool blocks each parallel worker needs before adding more
 /// workers pays off: roughly one input block, one output block and headroom
@@ -47,9 +39,10 @@ use crate::slab::{compute_partition, distribute, BoundarySource};
 /// [`ExactMaxRsOptions::effective_parallelism`] caps the worker count.
 const MIN_POOL_BLOCKS_PER_WORKER: usize = 8;
 
-/// Tuning knobs of [`exact_max_rs`].  The defaults follow the EM configuration
-/// of the context (`M` and `m` derived from the buffer size), exactly like the
-/// paper's experiments; overrides exist for tests and ablation studies.
+/// Tuning knobs of [`exact_max_rs`] and every other [`SweepPass`]-based
+/// pipeline.  The defaults follow the EM configuration of the context (`M`
+/// and `m` derived from the buffer size), exactly like the paper's
+/// experiments; overrides exist for tests and ablation studies.
 #[derive(Debug, Clone, Copy)]
 pub struct ExactMaxRsOptions {
     /// Override for the distribution fan-out `m` (default: `EmConfig::fanout`).
@@ -69,11 +62,12 @@ pub struct ExactMaxRsOptions {
     ///
     /// With more than one worker, the sub-slabs of the top recursion node are
     /// solved concurrently and their slab-files are combined by the pairwise
-    /// [`merge_sweep_tree`] reduction instead of the flat `m`-way
-    /// [`merge_sweep`].  Results are identical for integer-valued weights;
-    /// see `merge_sweep_tree` for the floating-point association caveat.  The
-    /// worker count actually used is additionally capped by the buffer size —
-    /// see [`ExactMaxRsOptions::effective_parallelism`].
+    /// [`merge_sweep_tree`](crate::merge_sweep_tree) reduction instead of the
+    /// flat `m`-way [`merge_sweep`](crate::merge_sweep()).  Results are
+    /// identical for integer-valued weights; see `merge_sweep_tree` for the
+    /// floating-point association caveat.  The worker count actually used is
+    /// additionally capped by the buffer size — see
+    /// [`ExactMaxRsOptions::effective_parallelism`].
     ///
     /// **Memory-model note:** each worker keeps the full in-memory budget
     /// `M` for its base cases (as in the parallel-EM model, where every
@@ -127,79 +121,23 @@ impl ExactMaxRsOptions {
     }
 }
 
-/// Runs ExactMaxRS over an object file already stored in the EM context.
+/// Runs ExactMaxRS over an object file already stored in the EM context: one
+/// [`SweepPass`] with identity weights over an unbounded root slab.
 ///
 /// Returns the optimal location, the maximum range sum and the max-region.
 /// All temporary files are deleted before returning; the input file is left
 /// untouched.  I/O counters of `ctx` reflect the full pipeline (transform,
-/// sort, distribution sweep).
+/// sort, distribution sweep).  For an input already sorted by x (see
+/// [`sort_objects_by_x`]), use
+/// [`SweepPass::presorted`](crate::sweep::SweepPass::presorted) — same
+/// kernel, no sort, bit-identical answer.
 pub fn exact_max_rs(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
     size: RectSize,
     opts: &ExactMaxRsOptions,
 ) -> Result<MaxRsResult> {
-    if objects.is_empty() {
-        return Ok(MaxRsResult::empty());
-    }
-
-    // 1. Transform objects into centered rectangles.
-    let rects = transform_to_rect_file(ctx, objects, size)?;
-
-    // 2 + 3. Sort by center x, then run the distribution-sweep recursion.
-    let final_slab = distribution_sweep(ctx, rects, Interval::UNBOUNDED, opts)?;
-
-    // 4. Extract the best region from the final slab-file and widen it to the
-    // full arrangement cell (see the module docs on canonical max-regions).
-    let result = extract_best(ctx, &final_slab)?;
-    ctx.delete_file(final_slab)?;
-    widen_to_arrangement_cell(ctx, objects, size, Interval::UNBOUNDED, result)
-}
-
-/// Sorts an already-transformed rectangle file by center x and runs the
-/// distribution-sweep recursion over it, returning the final slab-file of
-/// `root` (the y-sorted `⟨y, max-interval, sum⟩` tuples of the whole slab).
-///
-/// This is the reusable middle of the ExactMaxRS pipeline: [`exact_max_rs`]
-/// calls it with the identity transform and an unbounded root slab, the MinRS
-/// path of [`crate::engine::MaxRsEngine::run`] with weight-negated rectangles
-/// and the query domain's x-interval as `root`.  The input file is consumed;
-/// rectangle weights may be negative (only [`WeightedPoint`] insists on
-/// non-negativity).  `opts.parallelism` selects between the paper's flat
-/// sequential sweep and the parallel slab stage exactly as in
-/// [`exact_max_rs`].
-pub fn distribution_sweep(
-    ctx: &EmContext,
-    rects: TupleFile<RectRecord>,
-    root: Interval,
-    opts: &ExactMaxRsOptions,
-) -> Result<TupleFile<SlabTuple>> {
-    let sorted = external_sort_by_key(ctx, &rects, |r| r.center_x())?;
-    ctx.delete_file(rects)?;
-    distribution_sweep_presorted(ctx, sorted, root, opts)
-}
-
-/// [`distribution_sweep`] without its leading external sort: the input must
-/// already be ordered by center x.
-///
-/// This is the fast path of [`PreparedDataset`](crate::PreparedDataset):
-/// transformed rectangles are centered at their objects, so an object file
-/// sorted by x yields — for *every* query size — a rectangle file already in
-/// center-x order, and repeated queries over a prepared dataset skip the
-/// `O((N/B) log_{M/B}(N/B))` sort entirely, leaving the `O(N/B)`-per-level
-/// sweep as the only cost.  The input file is consumed.
-pub fn distribution_sweep_presorted(
-    ctx: &EmContext,
-    sorted: TupleFile<RectRecord>,
-    root: Interval,
-    opts: &ExactMaxRsOptions,
-) -> Result<TupleFile<SlabTuple>> {
-    let runner = Runner {
-        ctx,
-        opts: *opts,
-        workers: opts.effective_parallelism(ctx.config()),
-    };
-    runner.solve(sorted, root, true)
+    SweepPass::new(ctx, opts).max_rs(objects, size)
 }
 
 /// Sorts an object file by object x with the external merge sort — the
@@ -215,86 +153,6 @@ pub fn sort_objects_by_x(
     objects: &TupleFile<ObjectRecord>,
 ) -> Result<TupleFile<ObjectRecord>> {
     external_sort_by_key(ctx, objects, |r| r.0.point.x).map_err(CoreError::from)
-}
-
-/// [`exact_max_rs`] over an object file already sorted by x (see
-/// [`sort_objects_by_x`]): the transform stays, the external sort is skipped.
-///
-/// Answers are bit-identical to [`exact_max_rs`] on the same multiset of
-/// objects — the canonical max-region widening (module docs) makes the
-/// result independent of how the sweep's input was ordered or partitioned.
-pub fn exact_max_rs_presorted(
-    ctx: &EmContext,
-    sorted_objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    opts: &ExactMaxRsOptions,
-) -> Result<MaxRsResult> {
-    if sorted_objects.is_empty() {
-        return Ok(MaxRsResult::empty());
-    }
-    let rects = transform_to_rect_file(ctx, sorted_objects, size)?;
-    let final_slab = distribution_sweep_presorted(ctx, rects, Interval::UNBOUNDED, opts)?;
-    let result = extract_best(ctx, &final_slab)?;
-    ctx.delete_file(final_slab)?;
-    widen_to_arrangement_cell(ctx, sorted_objects, size, Interval::UNBOUNDED, result)
-}
-
-/// The smallest x-arrangement breakpoint strictly greater than `x`: the edge
-/// of a transformed rectangle (clipped to `slab`) or the slab's upper bound,
-/// whichever comes first; `+∞` when nothing lies beyond `x`.
-///
-/// These breakpoints are exactly the leaf boundaries of the in-memory plane
-/// sweep over `slab` (see [`plane_sweep_slab`]), computed here with one
-/// sequential `O(N/B)` scan of the object file instead of materializing the
-/// arrangement.  Used to widen distribution-sweep max-intervals back to full
-/// arrangement cells.
-pub fn next_breakpoint_after(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    slab: Interval,
-    x: f64,
-) -> Result<f64> {
-    let mut best = f64::INFINITY;
-    if slab.hi > x {
-        best = slab.hi;
-    }
-    let mut reader = ctx.open_reader(objects);
-    while let Some(rec) = reader.next_record()? {
-        if let Some(clipped) = rec.0.to_rect(size).clip_x(&slab) {
-            for edge in [clipped.x_lo, clipped.x_hi] {
-                if edge > x && edge < best {
-                    best = edge;
-                }
-            }
-        }
-    }
-    Ok(best)
-}
-
-/// Widens a distribution-sweep result's max-interval to the full arrangement
-/// cell so it matches the in-memory sweep's report (module docs, "Canonical
-/// max-regions").  The winning `y`-strip and weight are already canonical;
-/// only the interval's upper bound (and with it the representative center)
-/// can sit on a slab boundary instead of a rectangle edge.
-fn widen_to_arrangement_cell(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    slab: Interval,
-    result: MaxRsResult,
-) -> Result<MaxRsResult> {
-    if !result.region.x_lo.is_finite() && !result.region.x_hi.is_finite() {
-        // The empty-dataset sentinel; nothing to widen.
-        return Ok(result);
-    }
-    let x_hi = next_breakpoint_after(ctx, objects, size, slab, result.region.x_lo)?;
-    let x = Interval::new(result.region.x_lo, x_hi.max(result.region.x_hi));
-    Ok(MaxRsResult {
-        center: Point::new(x.representative(), result.center.y),
-        total_weight: result.total_weight,
-        region: Rect::new(x.lo, x.hi, result.region.y_lo, result.region.y_hi),
-    })
 }
 
 /// Convenience wrapper: loads the objects into the context and runs
@@ -320,258 +178,11 @@ pub fn load_objects(ctx: &EmContext, objects: &[WeightedPoint]) -> Result<TupleF
     writer.finish().map_err(CoreError::from)
 }
 
-/// Streams the object file into a rectangle file (the transformed problem).
-///
-/// One transform-aware scan ([`EmContext::filter_map_file`]): `O(N/B)` I/Os,
-/// no intermediate staging.
-pub fn transform_to_rect_file(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-) -> Result<TupleFile<RectRecord>> {
-    transform_to_scaled_rect_file(ctx, objects, size, 1.0)
-}
-
-/// [`transform_to_rect_file`] with every weight multiplied by `weight_scale`
-/// during the scan.  `weight_scale = -1.0` is the MinRS reduction: the
-/// maximum of the negated instance is the negated minimum of the original
-/// one, so the unmodified MaxRS pipeline answers MinRS queries.
-pub fn transform_to_scaled_rect_file(
-    ctx: &EmContext,
-    objects: &TupleFile<ObjectRecord>,
-    size: RectSize,
-    weight_scale: f64,
-) -> Result<TupleFile<RectRecord>> {
-    ctx.map_file(objects, |rec: ObjectRecord| {
-        RectRecord::new(rec.0.to_rect(size), weight_scale * rec.0.weight)
-    })
-    .map_err(CoreError::from)
-}
-
-struct Runner<'a> {
-    ctx: &'a EmContext,
-    opts: ExactMaxRsOptions,
-    /// Worker threads available to this recursion node; children run with 1
-    /// (the top-level slabs are the coarsest — and therefore best — unit of
-    /// parallel work).
-    workers: usize,
-}
-
-impl<'a> Runner<'a> {
-    fn memory_rects(&self) -> usize {
-        self.opts
-            .memory_rects
-            .unwrap_or_else(|| self.ctx.config().mem_records::<RectRecord>())
-            .max(4)
-    }
-
-    fn fanout(&self) -> usize {
-        self.opts
-            .fanout
-            .unwrap_or_else(|| self.ctx.config().fanout())
-            .max(2)
-    }
-
-    /// Solves one recursion node: consumes `input` (the rectangles of `slab`)
-    /// and returns the slab-file of `slab`.
-    fn solve(
-        &self,
-        input: TupleFile<RectRecord>,
-        slab: Interval,
-        sorted: bool,
-    ) -> Result<TupleFile<SlabTuple>> {
-        let n = input.len() as usize;
-        if n <= self.memory_rects() {
-            return self.solve_in_memory(input, slab);
-        }
-
-        // Divide the slab into m sub-slabs with roughly equal rectangle counts.
-        let source = if sorted {
-            BoundarySource::SortedExact
-        } else {
-            BoundarySource::Sampled(self.opts.boundary_sample)
-        };
-        let partition = compute_partition(self.ctx, &input, slab, self.fanout(), source)?;
-        if partition.num_slabs() < 2 {
-            // Heavy ties on x: no vertical split can make progress.  Fall back
-            // to the in-memory sweep (documented guard; never triggered by the
-            // paper's workloads).
-            return self.solve_in_memory(input, slab);
-        }
-
-        let dist = distribute(self.ctx, &input, &partition)?;
-        if !self.opts.keep_intermediates {
-            self.ctx.delete_file(input)?;
-        }
-
-        // Conquer each sub-slab.  `solve_child` guards against the pathological
-        // case where a child is as large as its parent (extreme ties on x).
-        // With workers to spare, the sub-slabs — independent by construction —
-        // are solved concurrently, each child running sequentially inside its
-        // worker.  Any failure deletes the files this node still owns —
-        // including the span events — so a failed run leaves no orphans on a
-        // long-lived context.
-        let workers = self.workers.min(partition.num_slabs());
-        let merge_result =
-            self.conquer_and_combine(dist.slab_inputs, &partition, &dist.span_events, workers, n);
-        let merged = match merge_result {
-            Ok(merged) => merged,
-            Err(e) => {
-                let _ = self.ctx.delete_file(dist.span_events);
-                return Err(e);
-            }
-        };
-        self.ctx.delete_file(dist.span_events)?;
-        Ok(merged)
-    }
-
-    /// Solves every sub-slab (in parallel when `workers > 1`) and combines the
-    /// child slab-files with the span events.  On failure, all successfully
-    /// produced child files are deleted before the error is returned; the
-    /// span-events file stays with the caller.
-    fn conquer_and_combine(
-        &self,
-        slab_inputs: Vec<TupleFile<RectRecord>>,
-        partition: &crate::slab::SlabPartition,
-        span_events: &TupleFile<crate::records::SpanEvent>,
-        workers: usize,
-        parent_size: usize,
-    ) -> Result<TupleFile<SlabTuple>> {
-        let outcomes = if workers > 1 {
-            let child = Runner {
-                ctx: self.ctx,
-                opts: self.opts,
-                workers: 1,
-            };
-            parallel_map(workers, slab_inputs, |i, child_input| {
-                child.solve_child(child_input, partition.slab(i), parent_size)
-            })
-        } else {
-            slab_inputs
-                .into_iter()
-                .enumerate()
-                .map(|(i, child_input)| {
-                    self.solve_child(child_input, partition.slab(i), parent_size)
-                })
-                .collect()
-        };
-
-        let mut child_files = Vec::with_capacity(outcomes.len());
-        let mut first_err = None;
-        for outcome in outcomes {
-            match outcome {
-                Ok(file) => child_files.push(file),
-                Err(e) => {
-                    first_err.get_or_insert(e);
-                }
-            }
-        }
-        if let Some(e) = first_err {
-            for f in child_files {
-                let _ = self.ctx.delete_file(f);
-            }
-            return Err(e);
-        }
-
-        if workers > 1 {
-            // Pairwise tree reduction (consumes the child files, cleaning up
-            // on its own errors); identical to the flat sweep, see
-            // `merge_sweep_tree`.
-            merge_sweep_tree(
-                self.ctx,
-                child_files,
-                &partition.slabs(),
-                span_events,
-                self.workers,
-            )
-        } else {
-            match merge_sweep(self.ctx, &child_files, &partition.slabs(), span_events) {
-                Ok(merged) => {
-                    for f in child_files {
-                        self.ctx.delete_file(f)?;
-                    }
-                    Ok(merged)
-                }
-                Err(e) => {
-                    for f in child_files {
-                        let _ = self.ctx.delete_file(f);
-                    }
-                    Err(e)
-                }
-            }
-        }
-    }
-
-    /// Recurses into a child slab, guarding against pathological inputs where
-    /// the child is as large as the parent (possible only under extreme ties);
-    /// such children are solved in memory to guarantee termination.
-    fn solve_child(
-        &self,
-        input: TupleFile<RectRecord>,
-        slab: Interval,
-        parent_size: usize,
-    ) -> Result<TupleFile<SlabTuple>> {
-        if input.len() as usize >= parent_size && input.len() as usize > self.memory_rects() {
-            return self.solve_in_memory(input, slab);
-        }
-        self.solve(input, slab, false)
-    }
-
-    fn solve_in_memory(
-        &self,
-        input: TupleFile<RectRecord>,
-        slab: Interval,
-    ) -> Result<TupleFile<SlabTuple>> {
-        let rects = self.ctx.read_all(&input)?;
-        if !self.opts.keep_intermediates {
-            self.ctx.delete_file(input)?;
-        }
-        let tuples = plane_sweep_slab(&rects, slab);
-        let mut writer = self.ctx.create_writer::<SlabTuple>()?;
-        for t in &tuples {
-            writer.push(t)?;
-        }
-        writer.finish().map_err(CoreError::from)
-    }
-}
-
-/// Scans the final slab-file for the best tuple and converts it into a result.
-fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
-    let mut reader = ctx.open_reader(slab_file);
-    let mut best: Option<SlabTuple> = None;
-    let mut best_next_y: Option<f64> = None;
-    let mut awaiting_next = false;
-    while let Some(t) = reader.next_record()? {
-        if awaiting_next {
-            best_next_y = Some(t.y);
-            awaiting_next = false;
-        }
-        if best.is_none_or(|b| t.sum > b.sum) {
-            best = Some(t);
-            best_next_y = None;
-            awaiting_next = true;
-        }
-    }
-    let best = match best {
-        Some(b) => b,
-        None => return Ok(MaxRsResult::empty()),
-    };
-    let y_lo = best.y;
-    let y_hi = best_next_y.filter(|&y| y > y_lo).unwrap_or(y_lo + 1.0);
-    let x = best.interval();
-    let region = Rect::new(x.lo, x.hi, y_lo, y_hi);
-    let center = Point::new(x.representative(), (y_lo + y_hi) / 2.0);
-    Ok(MaxRsResult {
-        center,
-        total_weight: best.sum,
-        region,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plane_sweep::max_rs_in_memory;
+    use crate::records::RectRecord;
     use crate::reference::{brute_force_max_rs, rect_objective};
     use maxrs_em::EmConfig;
 

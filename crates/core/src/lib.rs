@@ -21,7 +21,12 @@
 //!   from the dataset size, the memory budget and the core count,
 //! * [`PreparedDataset`] — sort-once repeated querying: one external x-sort
 //!   at [`MaxRsEngine::prepare`] time serves every subsequent [`Query`]
-//!   variant sort-free ([`crate::prepared`]).
+//!   variant sort-free ([`crate::prepared`]),
+//! * [`SweepPass`] — the parameterized sweep kernel every strategy and every
+//!   query variant instantiates ([`crate::sweep`]),
+//! * [`QueryBatch`] / [`PreparedDataset::run_batch`] — batched multi-query
+//!   execution: M queries answered in shared sweep passes, grouped by
+//!   rectangle size ([`crate::batch`]).
 //!
 //! The external-memory algorithms run against a [`maxrs_em::EmContext`], which
 //! simulates a block device with a bounded buffer pool and counts every block
@@ -88,6 +93,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod batch;
 pub mod crs_exact;
 pub mod engine;
 mod error;
@@ -104,19 +110,19 @@ pub mod reference;
 mod result;
 pub mod segment_tree;
 pub mod slab;
+pub mod sweep;
 
 pub use approx::approx_max_crs_presorted;
 pub use approx::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, candidate_points,
     ApproxMaxCrsOptions, SIGMA_FRACTION_LO,
 };
+pub use batch::QueryBatch;
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, EngineError, Result};
 pub use exact::{
-    distribution_sweep, distribution_sweep_presorted, exact_max_rs, exact_max_rs_from_objects,
-    exact_max_rs_presorted, load_objects, next_breakpoint_after, sort_objects_by_x,
-    transform_to_rect_file, transform_to_scaled_rect_file, ExactMaxRsOptions,
+    exact_max_rs, exact_max_rs_from_objects, load_objects, sort_objects_by_x, ExactMaxRsOptions,
 };
 pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
 pub use grid::{grid_cell, UniformGrid, GRID_CELL_LIMIT};
@@ -132,3 +138,7 @@ pub use reference::{brute_force_max_crs, brute_force_max_rs, circle_objective, r
 pub use result::{MaxCrsResult, MaxRsResult};
 pub use segment_tree::SegmentTree;
 pub use slab::{compute_partition, distribute, BoundarySource, Distribution, SlabPartition};
+pub use sweep::{
+    next_breakpoint_after, transform_to_rect_file, transform_to_scaled_rect_file, InputOrder,
+    SweepPass,
+};

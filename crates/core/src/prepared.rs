@@ -13,12 +13,14 @@
 //! the pipeline once — load + external x-sort of the object file — and
 //! retains the sorted file.  [`PreparedDataset::run`] answers any
 //! [`Query`] variant against the retained file with the sort-free pipeline
-//! ([`exact_max_rs_presorted`](crate::exact::exact_max_rs_presorted) and
-//! friends): each query costs only the `O(N/B)` transform scan plus the
-//! sweep.  Answers are bit-identical to single-shot [`MaxRsEngine::run`]
-//! calls — which since this layer exists simply route through a throwaway
-//! prepared dataset — because canonical max-regions (see [`crate::exact`])
-//! make every answer independent of how the sweep's input was obtained.
+//! (a presorted [`SweepPass`](crate::sweep::SweepPass)): each query costs
+//! only the `O(N/B)` transform scan plus the sweep, and a whole *batch* of
+//! queries shares even those across queries of one rectangle size
+//! ([`PreparedDataset::run_batch`], see [`crate::batch`]).  Answers are
+//! bit-identical to single-shot [`MaxRsEngine::run`] calls — which since
+//! this layer exists simply route through a throwaway prepared dataset —
+//! because canonical max-regions (see [`crate::sweep`]) make every answer
+//! independent of how the sweep's input was obtained.
 //!
 //! The sorted file is owned RAII-style: dropping the `PreparedDataset`
 //! deletes its blocks, so a long-running engine that prepares many datasets
@@ -28,9 +30,8 @@
 use maxrs_em::{EmContext, IoSnapshot, TupleFile};
 use maxrs_geometry::WeightedPoint;
 
-use crate::engine::{
-    answer_in_memory, run_external_presorted, EngineOptions, ExecutionStrategy, MaxRsEngine,
-};
+use crate::batch::{run_batch_external, QueryBatch};
+use crate::engine::{answer_in_memory, EngineOptions, ExecutionStrategy, MaxRsEngine};
 use crate::error::Result;
 use crate::exact::{load_objects, sort_objects_by_x};
 use crate::query::{Query, QueryRun};
@@ -238,15 +239,70 @@ impl PreparedDataset<'_> {
     /// asserts a second `run` does zero sort I/O).  The reported I/O is the
     /// delta across this query only.  Answers are bit-identical to
     /// single-shot [`MaxRsEngine::run`] calls with the same options.
+    ///
+    /// A single run is exactly a [`run_batch`](PreparedDataset::run_batch) of
+    /// one query, so the per-query and batched paths can never diverge.
     pub fn run(&self, query: &Query) -> Result<QueryRun> {
-        query.validate()?;
+        let mut runs = self.run_batch(std::slice::from_ref(query))?;
+        Ok(runs.pop().expect("one run per query"))
+    }
+
+    /// Answers a whole batch of queries in shared sweep passes: queries are
+    /// planned into sweep groups ([`QueryBatch`]) so each distinct
+    /// transform/sweep runs once, and independent groups execute concurrently
+    /// on the worker pool.
+    ///
+    /// Runs come back in query order with answers bit-identical to per-query
+    /// [`run`](PreparedDataset::run) calls for integer-valued weights (with
+    /// arbitrary floats, concurrent group execution carries the same
+    /// last-bit association caveat as strategy selection — see
+    /// [`crate::batch`]); each group's shared pass I/O is attributed to the
+    /// group's first query, so the runs' I/O sums to the batch's true total
+    /// (see [`crate::batch`], "I/O attribution").
+    ///
+    /// ```
+    /// use maxrs_core::{MaxRsEngine, Query};
+    /// use maxrs_geometry::{RectSize, WeightedPoint};
+    ///
+    /// let cafes = vec![
+    ///     WeightedPoint::unit(1.0, 1.0),
+    ///     WeightedPoint::unit(1.4, 1.2),
+    ///     WeightedPoint::unit(6.0, 6.0),
+    /// ];
+    /// let prepared = MaxRsEngine::new().prepare(&cafes).unwrap();
+    /// let size = RectSize::square(2.0);
+    ///
+    /// // One shared pass answers all three (same rectangle size):
+    /// let runs = prepared
+    ///     .run_batch(&[
+    ///         Query::max_rs(size),
+    ///         Query::top_k(size, 2),
+    ///         Query::approx_max_crs(2.0),
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(runs.len(), 3);
+    /// assert_eq!(runs[0].answer.best_weight(), 2.0);
+    /// assert_eq!(runs[1].answer.placements().unwrap().len(), 2);
+    /// ```
+    pub fn run_batch(&self, queries: &[Query]) -> Result<Vec<QueryRun>> {
+        self.run_planned(&QueryBatch::new(queries)?)
+    }
+
+    /// [`run_batch`](PreparedDataset::run_batch) for a pre-planned
+    /// [`QueryBatch`] — lets callers plan once and execute the same batch
+    /// repeatedly (or inspect [`QueryBatch::num_groups`] before running).
+    pub fn run_planned(&self, batch: &QueryBatch) -> Result<Vec<QueryRun>> {
         match &self.source {
-            Source::Memory(objects) => Ok(QueryRun {
-                answer: answer_in_memory(objects, query),
-                strategy: ExecutionStrategy::InMemory,
-                workers: 1,
-                io: IoSnapshot::default(),
-            }),
+            Source::Memory(objects) => Ok(batch
+                .queries()
+                .iter()
+                .map(|query| QueryRun {
+                    answer: answer_in_memory(objects, query),
+                    strategy: ExecutionStrategy::InMemory,
+                    workers: 1,
+                    io: IoSnapshot::default(),
+                })
+                .collect()),
             Source::External { ctx, sorted } => {
                 let ctx = ctx.get();
                 let sorted = sorted.as_ref().expect("sorted file present until drop");
@@ -261,7 +317,7 @@ impl PreparedDataset<'_> {
                 } else {
                     strategy
                 };
-                run_external_presorted(ctx, sorted, query, strategy, workers, &self.opts.exact)
+                run_batch_external(ctx, sorted, batch, strategy, workers, &self.opts.exact)
             }
         }
     }

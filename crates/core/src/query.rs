@@ -254,7 +254,10 @@ pub struct QueryRun {
     /// The strategy the engine selected (or was forced to use).
     pub strategy: ExecutionStrategy,
     /// Worker threads used (1 unless the strategy is
-    /// [`ExecutionStrategy::ExternalParallel`]).
+    /// [`ExecutionStrategy::ExternalParallel`]).  In a batched run this is
+    /// the worker pool available to the whole batch: with several sweep
+    /// groups the workers run *groups* concurrently (each group's inner
+    /// sweep sequential), with a single group they run its slab stage.
     pub workers: usize,
     /// Blocks transferred while answering.  Multi-round variants (top-k)
     /// accumulate the I/O of every round.

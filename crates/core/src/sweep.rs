@@ -1,0 +1,652 @@
+//! The **sweep kernel**: one parameterized distribution-sweep pipeline that
+//! every query variant and every execution strategy instantiates.
+//!
+//! Historically the crate carried the pipeline four times — `exact_max_rs`
+//! vs. `exact_max_rs_presorted`, `distribution_sweep` vs.
+//! `distribution_sweep_presorted` — plus per-variant re-implementations in
+//! the engine.  [`SweepPass`] collapses them into one parameterized object
+//! with the pipeline's four stages as composable methods:
+//!
+//! 1. **transform** — stream the object file into query-sized rectangles
+//!    ([`SweepPass::transform`]), optionally scaling weights (`-1` is the
+//!    MinRS reduction);
+//! 2. **slab partition + strip sweep** — the distribution-sweep recursion
+//!    over the rectangles ([`SweepPass::sweep_rects`]), preceded by the
+//!    external center-x sort exactly when the pass's [`InputOrder`] says the
+//!    input needs one;
+//! 3. **extract** — the best tuple of the final slab-file
+//!    ([`SweepPass::extract_best`]);
+//! 4. **canonicalize** — widen the winning interval back to the full
+//!    arrangement cell ([`SweepPass::canonicalize`]) so every strategy and
+//!    every input order reports the identical max-region.
+//!
+//! [`SweepPass::max_rs`] composes all four; the batched executor
+//! ([`crate::batch`]) runs the stages separately so several queries can share
+//! stages 1–2 of one pass.
+//!
+//! # Canonical max-regions
+//!
+//! The distribution sweep reports the same *maximum weight* as the in-memory
+//! plane sweep, but its slab boundaries subdivide the x-axis more finely than
+//! the rectangle-edge arrangement alone, so the winning tuple's x-interval
+//! can be a strict sub-interval of the arrangement cell the in-memory sweep
+//! would report.  Stage 4 therefore *widens* the winning interval back to the
+//! full arrangement cell with one extra `O(N/B)` scan of the object file
+//! (see [`next_breakpoint_after`]): both sweeps break ties leftmost-first and
+//! agree on the winning event `y`, so after widening the external result —
+//! center, weight **and** max-region — is bit-for-bit identical to
+//! [`max_rs_in_memory`](crate::plane_sweep::max_rs_in_memory()).  The unified
+//! query layer ([`crate::engine::MaxRsEngine::run`]) relies on this to give
+//! every `Query` variant strategy-independent answers.
+
+use maxrs_em::{external_sort_by_key, EmContext, TupleFile};
+use maxrs_geometry::{Interval, Point, Rect, RectSize};
+
+use crate::error::{CoreError, Result};
+use crate::exact::ExactMaxRsOptions;
+use crate::merge_sweep::{merge_sweep, merge_sweep_tree};
+use crate::parallel::parallel_map;
+use crate::plane_sweep::plane_sweep_slab;
+use crate::records::{ObjectRecord, RectRecord, SlabTuple};
+use crate::result::MaxRsResult;
+use crate::slab::{compute_partition, distribute, BoundarySource};
+
+/// Whether a pass's object file is already in the order the sweep needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputOrder {
+    /// Arbitrary order: the kernel pays the
+    /// `O((N/B) log_{M/B}(N/B))` external center-x sort before sweeping.
+    Unsorted,
+    /// Already sorted by object x (see
+    /// [`sort_objects_by_x`](crate::exact::sort_objects_by_x)); transformed
+    /// rectangles are centered at their objects, so the rectangle file is in
+    /// center-x order for *every* query size and the sort is skipped.  This
+    /// is the fast path of [`PreparedDataset`](crate::PreparedDataset).
+    PresortedByX,
+}
+
+/// One parameterized distribution-sweep pass: the sweep kernel.
+///
+/// A pass captures everything the pipeline varies over — the EM context, the
+/// tuning [`ExactMaxRsOptions`], the input [`InputOrder`], a weight scale
+/// (`-1.0` turns MaxRS into MinRS) and a root slab (the query domain's
+/// x-interval for MinRS, unbounded otherwise) — so callers state *what* to
+/// sweep and never re-implement *how*:
+///
+/// ```
+/// use maxrs_core::{load_objects, ExactMaxRsOptions, SweepPass};
+/// use maxrs_em::{EmConfig, EmContext};
+/// use maxrs_geometry::{RectSize, WeightedPoint};
+///
+/// let ctx = EmContext::new(EmConfig::paper_synthetic());
+/// let objects = load_objects(
+///     &ctx,
+///     &[
+///         WeightedPoint::unit(1.0, 1.0),
+///         WeightedPoint::unit(1.5, 1.2),
+///         WeightedPoint::unit(9.0, 9.0),
+///     ],
+/// )
+/// .unwrap();
+///
+/// let pass = SweepPass::new(&ctx, &ExactMaxRsOptions::default());
+/// let best = pass.max_rs(&objects, RectSize::square(2.0)).unwrap();
+/// assert_eq!(best.total_weight, 2.0);
+/// # ctx.delete_file(objects).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPass<'a> {
+    ctx: &'a EmContext,
+    opts: ExactMaxRsOptions,
+    order: InputOrder,
+    weight_scale: f64,
+    root: Interval,
+}
+
+impl<'a> SweepPass<'a> {
+    /// A pass over an arbitrarily ordered object file: identity weights,
+    /// unbounded root slab — the classic ExactMaxRS configuration.
+    pub fn new(ctx: &'a EmContext, opts: &ExactMaxRsOptions) -> Self {
+        SweepPass {
+            ctx,
+            opts: *opts,
+            order: InputOrder::Unsorted,
+            weight_scale: 1.0,
+            root: Interval::UNBOUNDED,
+        }
+    }
+
+    /// A pass over an object file already sorted by x: the sort-free pipeline
+    /// of [`PreparedDataset`](crate::PreparedDataset).
+    pub fn presorted(ctx: &'a EmContext, opts: &ExactMaxRsOptions) -> Self {
+        SweepPass {
+            order: InputOrder::PresortedByX,
+            ..SweepPass::new(ctx, opts)
+        }
+    }
+
+    /// Sets the input order explicitly.
+    pub fn with_order(mut self, order: InputOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Multiplies every object weight by `scale` during the transform scan.
+    /// `-1.0` is the MinRS reduction: the maximum of the negated instance is
+    /// the negated minimum of the original one, so the unmodified pipeline
+    /// answers MinRS queries.
+    pub fn with_weight_scale(mut self, scale: f64) -> Self {
+        self.weight_scale = scale;
+        self
+    }
+
+    /// Restricts the sweep (and the canonicalization) to a root x-slab — the
+    /// query domain's x-interval for MinRS.  Default: unbounded.
+    pub fn with_root(mut self, root: Interval) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// The context this pass runs against.
+    pub fn ctx(&self) -> &'a EmContext {
+        self.ctx
+    }
+
+    /// The tuning options of this pass.
+    pub fn options(&self) -> &ExactMaxRsOptions {
+        &self.opts
+    }
+
+    /// The root x-slab of this pass.
+    pub fn root(&self) -> Interval {
+        self.root
+    }
+
+    /// Stage 1 — streams the object file into a rectangle file of the query
+    /// size, scaling weights by the pass's weight scale.  One transform-aware
+    /// scan ([`EmContext::filter_map_file`]): `O(N/B)` I/Os, no intermediate
+    /// staging.  The input file is left untouched.
+    pub fn transform(
+        &self,
+        objects: &TupleFile<ObjectRecord>,
+        size: RectSize,
+    ) -> Result<TupleFile<RectRecord>> {
+        transform_to_scaled_rect_file(self.ctx, objects, size, self.weight_scale)
+    }
+
+    /// Stages 2–3 — sorts the rectangles by center x (skipped for
+    /// [`InputOrder::PresortedByX`]) and runs the distribution-sweep
+    /// recursion, returning the final slab-file of the pass's root slab (the
+    /// y-sorted `⟨y, max-interval, sum⟩` tuples).  The input file is
+    /// consumed; rectangle weights may be negative (only `WeightedPoint`
+    /// insists on non-negativity).  `opts.parallelism` selects between the
+    /// paper's flat sequential sweep and the parallel slab stage.
+    pub fn sweep_rects(&self, rects: TupleFile<RectRecord>) -> Result<TupleFile<SlabTuple>> {
+        let sorted = match self.order {
+            InputOrder::Unsorted => {
+                let sorted = external_sort_by_key(self.ctx, &rects, |r| r.center_x())?;
+                self.ctx.delete_file(rects)?;
+                sorted
+            }
+            InputOrder::PresortedByX => rects,
+        };
+        let runner = Runner {
+            ctx: self.ctx,
+            opts: self.opts,
+            workers: self.opts.effective_parallelism(self.ctx.config()),
+        };
+        runner.solve(sorted, self.root, true)
+    }
+
+    /// Stages 1–3 composed: transform, then sweep.
+    pub fn slab_file(
+        &self,
+        objects: &TupleFile<ObjectRecord>,
+        size: RectSize,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let rects = self.transform(objects, size)?;
+        self.sweep_rects(rects)
+    }
+
+    /// Stage 4a — scans a final slab-file for the best tuple and converts it
+    /// into a (not yet canonicalized) result.
+    pub fn extract_best(&self, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
+        extract_best(self.ctx, slab_file)
+    }
+
+    /// Stage 4b — widens a sweep result's max-interval to the full
+    /// arrangement cell of the pass's root slab so it matches the in-memory
+    /// sweep's report (module docs, "Canonical max-regions").  The winning
+    /// `y`-strip and weight are already canonical; only the interval's upper
+    /// bound (and with it the representative center) can sit on a slab
+    /// boundary instead of a rectangle edge.
+    pub fn canonicalize(
+        &self,
+        objects: &TupleFile<ObjectRecord>,
+        size: RectSize,
+        result: MaxRsResult,
+    ) -> Result<MaxRsResult> {
+        if !result.region.x_lo.is_finite() && !result.region.x_hi.is_finite() {
+            // The empty-dataset sentinel; nothing to widen.
+            return Ok(result);
+        }
+        let x_hi = next_breakpoint_after(self.ctx, objects, size, self.root, result.region.x_lo)?;
+        let x = Interval::new(result.region.x_lo, x_hi.max(result.region.x_hi));
+        Ok(MaxRsResult {
+            center: Point::new(x.representative(), result.center.y),
+            total_weight: result.total_weight,
+            region: Rect::new(x.lo, x.hi, result.region.y_lo, result.region.y_hi),
+        })
+    }
+
+    /// The full pipeline: transform → (sort) → sweep → extract →
+    /// canonicalize.  Returns the optimal location, the maximum range sum and
+    /// the canonical max-region; all temporary files are deleted before
+    /// returning and the input file is left untouched.
+    pub fn max_rs(&self, objects: &TupleFile<ObjectRecord>, size: RectSize) -> Result<MaxRsResult> {
+        if objects.is_empty() {
+            return Ok(MaxRsResult::empty());
+        }
+        let slab_file = self.slab_file(objects, size)?;
+        let result = self.extract_best(&slab_file)?;
+        self.ctx.delete_file(slab_file)?;
+        self.canonicalize(objects, size, result)
+    }
+}
+
+/// Streams an object file into a rectangle file of the query size (stage 1 of
+/// the kernel with identity weights) — kept as a free function for callers
+/// outside the pipeline.
+pub fn transform_to_rect_file(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+) -> Result<TupleFile<RectRecord>> {
+    transform_to_scaled_rect_file(ctx, objects, size, 1.0)
+}
+
+/// [`transform_to_rect_file`] with every weight multiplied by `weight_scale`
+/// during the scan (`-1.0` is the MinRS reduction).
+pub fn transform_to_scaled_rect_file(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    weight_scale: f64,
+) -> Result<TupleFile<RectRecord>> {
+    ctx.map_file(objects, |rec: ObjectRecord| {
+        RectRecord::new(rec.0.to_rect(size), weight_scale * rec.0.weight)
+    })
+    .map_err(CoreError::from)
+}
+
+/// The smallest x-arrangement breakpoint strictly greater than `x`: the edge
+/// of a transformed rectangle (clipped to `slab`) or the slab's upper bound,
+/// whichever comes first; `+∞` when nothing lies beyond `x`.
+///
+/// These breakpoints are exactly the leaf boundaries of the in-memory plane
+/// sweep over `slab` (see [`plane_sweep_slab`]), computed here with one
+/// sequential `O(N/B)` scan of the object file instead of materializing the
+/// arrangement.  Used to widen distribution-sweep max-intervals back to full
+/// arrangement cells (stage 4 of the kernel).
+pub fn next_breakpoint_after(
+    ctx: &EmContext,
+    objects: &TupleFile<ObjectRecord>,
+    size: RectSize,
+    slab: Interval,
+    x: f64,
+) -> Result<f64> {
+    let mut best = f64::INFINITY;
+    if slab.hi > x {
+        best = slab.hi;
+    }
+    let mut reader = ctx.open_reader(objects);
+    while let Some(rec) = reader.next_record()? {
+        if let Some(clipped) = rec.0.to_rect(size).clip_x(&slab) {
+            for edge in [clipped.x_lo, clipped.x_hi] {
+                if edge > x && edge < best {
+                    best = edge;
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+struct Runner<'a> {
+    ctx: &'a EmContext,
+    opts: ExactMaxRsOptions,
+    /// Worker threads available to this recursion node; children run with 1
+    /// (the top-level slabs are the coarsest — and therefore best — unit of
+    /// parallel work).
+    workers: usize,
+}
+
+impl<'a> Runner<'a> {
+    fn memory_rects(&self) -> usize {
+        self.opts
+            .memory_rects
+            .unwrap_or_else(|| self.ctx.config().mem_records::<RectRecord>())
+            .max(4)
+    }
+
+    fn fanout(&self) -> usize {
+        self.opts
+            .fanout
+            .unwrap_or_else(|| self.ctx.config().fanout())
+            .max(2)
+    }
+
+    /// Solves one recursion node: consumes `input` (the rectangles of `slab`)
+    /// and returns the slab-file of `slab`.
+    fn solve(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+        sorted: bool,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let n = input.len() as usize;
+        if n <= self.memory_rects() {
+            return self.solve_in_memory(input, slab);
+        }
+
+        // Divide the slab into m sub-slabs with roughly equal rectangle counts.
+        let source = if sorted {
+            BoundarySource::SortedExact
+        } else {
+            BoundarySource::Sampled(self.opts.boundary_sample)
+        };
+        let partition = compute_partition(self.ctx, &input, slab, self.fanout(), source)?;
+        if partition.num_slabs() < 2 {
+            // Heavy ties on x: no vertical split can make progress.  Fall back
+            // to the in-memory sweep (documented guard; never triggered by the
+            // paper's workloads).
+            return self.solve_in_memory(input, slab);
+        }
+
+        let dist = distribute(self.ctx, &input, &partition)?;
+        if !self.opts.keep_intermediates {
+            self.ctx.delete_file(input)?;
+        }
+
+        // Conquer each sub-slab.  `solve_child` guards against the pathological
+        // case where a child is as large as its parent (extreme ties on x).
+        // With workers to spare, the sub-slabs — independent by construction —
+        // are solved concurrently, each child running sequentially inside its
+        // worker.  Any failure deletes the files this node still owns —
+        // including the span events — so a failed run leaves no orphans on a
+        // long-lived context.
+        let workers = self.workers.min(partition.num_slabs());
+        let merge_result =
+            self.conquer_and_combine(dist.slab_inputs, &partition, &dist.span_events, workers, n);
+        let merged = match merge_result {
+            Ok(merged) => merged,
+            Err(e) => {
+                let _ = self.ctx.delete_file(dist.span_events);
+                return Err(e);
+            }
+        };
+        self.ctx.delete_file(dist.span_events)?;
+        Ok(merged)
+    }
+
+    /// Solves every sub-slab (in parallel when `workers > 1`) and combines the
+    /// child slab-files with the span events.  On failure, all successfully
+    /// produced child files are deleted before the error is returned; the
+    /// span-events file stays with the caller.
+    fn conquer_and_combine(
+        &self,
+        slab_inputs: Vec<TupleFile<RectRecord>>,
+        partition: &crate::slab::SlabPartition,
+        span_events: &TupleFile<crate::records::SpanEvent>,
+        workers: usize,
+        parent_size: usize,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let outcomes = if workers > 1 {
+            let child = Runner {
+                ctx: self.ctx,
+                opts: self.opts,
+                workers: 1,
+            };
+            parallel_map(workers, slab_inputs, |i, child_input| {
+                child.solve_child(child_input, partition.slab(i), parent_size)
+            })
+        } else {
+            slab_inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, child_input)| {
+                    self.solve_child(child_input, partition.slab(i), parent_size)
+                })
+                .collect()
+        };
+
+        let mut child_files = Vec::with_capacity(outcomes.len());
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(file) => child_files.push(file),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            for f in child_files {
+                let _ = self.ctx.delete_file(f);
+            }
+            return Err(e);
+        }
+
+        if workers > 1 {
+            // Pairwise tree reduction (consumes the child files, cleaning up
+            // on its own errors); identical to the flat sweep, see
+            // `merge_sweep_tree`.
+            merge_sweep_tree(
+                self.ctx,
+                child_files,
+                &partition.slabs(),
+                span_events,
+                self.workers,
+            )
+        } else {
+            match merge_sweep(self.ctx, &child_files, &partition.slabs(), span_events) {
+                Ok(merged) => {
+                    for f in child_files {
+                        self.ctx.delete_file(f)?;
+                    }
+                    Ok(merged)
+                }
+                Err(e) => {
+                    for f in child_files {
+                        let _ = self.ctx.delete_file(f);
+                    }
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Recurses into a child slab, guarding against pathological inputs where
+    /// the child is as large as the parent (possible only under extreme ties);
+    /// such children are solved in memory to guarantee termination.
+    fn solve_child(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+        parent_size: usize,
+    ) -> Result<TupleFile<SlabTuple>> {
+        if input.len() as usize >= parent_size && input.len() as usize > self.memory_rects() {
+            return self.solve_in_memory(input, slab);
+        }
+        self.solve(input, slab, false)
+    }
+
+    fn solve_in_memory(
+        &self,
+        input: TupleFile<RectRecord>,
+        slab: Interval,
+    ) -> Result<TupleFile<SlabTuple>> {
+        let rects = self.ctx.read_all(&input)?;
+        if !self.opts.keep_intermediates {
+            self.ctx.delete_file(input)?;
+        }
+        let tuples = plane_sweep_slab(&rects, slab);
+        let mut writer = self.ctx.create_writer::<SlabTuple>()?;
+        for t in &tuples {
+            writer.push(t)?;
+        }
+        writer.finish().map_err(CoreError::from)
+    }
+}
+
+/// Scans the final slab-file for the best tuple and converts it into a result.
+fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
+    let mut reader = ctx.open_reader(slab_file);
+    let mut best: Option<SlabTuple> = None;
+    let mut best_next_y: Option<f64> = None;
+    let mut awaiting_next = false;
+    while let Some(t) = reader.next_record()? {
+        if awaiting_next {
+            best_next_y = Some(t.y);
+            awaiting_next = false;
+        }
+        if best.is_none_or(|b| t.sum > b.sum) {
+            best = Some(t);
+            best_next_y = None;
+            awaiting_next = true;
+        }
+    }
+    let best = match best {
+        Some(b) => b,
+        None => return Ok(MaxRsResult::empty()),
+    };
+    let y_lo = best.y;
+    let y_hi = best_next_y.filter(|&y| y > y_lo).unwrap_or(y_lo + 1.0);
+    let x = best.interval();
+    let region = Rect::new(x.lo, x.hi, y_lo, y_hi);
+    let center = Point::new(x.representative(), (y_lo + y_hi) / 2.0);
+    Ok(MaxRsResult {
+        center,
+        total_weight: best.sum,
+        region,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{load_objects, sort_objects_by_x};
+    use crate::plane_sweep::max_rs_in_memory;
+    use maxrs_em::EmConfig;
+    use maxrs_geometry::WeightedPoint;
+
+    fn tiny_ctx() -> EmContext {
+        EmContext::new(EmConfig::new(256, 1024).unwrap())
+    }
+
+    fn pseudo_random_objects(n: usize, seed: u64, extent: f64) -> Vec<WeightedPoint> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * extent,
+                    next() * extent,
+                    1.0 + (next() * 4.0).floor(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn presorted_pass_equals_unsorted_pass_bit_for_bit() {
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(400, 13, 700.0);
+        let size = RectSize::square(90.0);
+        let opts = ExactMaxRsOptions::sequential();
+
+        let file = load_objects(&ctx, &objects).unwrap();
+        let unsorted = SweepPass::new(&ctx, &opts).max_rs(&file, size).unwrap();
+
+        let sorted = sort_objects_by_x(&ctx, &file).unwrap();
+        let presorted = SweepPass::presorted(&ctx, &opts)
+            .max_rs(&sorted, size)
+            .unwrap();
+
+        assert_eq!(unsorted, presorted);
+        assert_eq!(unsorted, max_rs_in_memory(&objects, size));
+        ctx.delete_file(file).unwrap();
+        ctx.delete_file(sorted).unwrap();
+    }
+
+    #[test]
+    fn weight_scale_negates_the_objective() {
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(200, 5, 300.0);
+        let size = RectSize::square(40.0);
+        let opts = ExactMaxRsOptions::sequential();
+        let file = load_objects(&ctx, &objects).unwrap();
+
+        // A weight scale of -1 turns the max into the (negated) min; over an
+        // unbounded root the least-covered placement covers nothing.
+        let negated = SweepPass::new(&ctx, &opts)
+            .with_weight_scale(-1.0)
+            .max_rs(&file, size)
+            .unwrap();
+        assert_eq!(negated.total_weight, 0.0);
+        ctx.delete_file(file).unwrap();
+    }
+
+    #[test]
+    fn root_slab_restricts_the_sweep() {
+        let ctx = tiny_ctx();
+        // Two clusters; the root slab admits only the lighter right one.
+        let mut objects = Vec::new();
+        for i in 0..30 {
+            objects.push(WeightedPoint::at(10.0 + (i % 5) as f64, i as f64, 2.0));
+        }
+        for i in 0..10 {
+            objects.push(WeightedPoint::at(500.0 + (i % 3) as f64, i as f64, 1.0));
+        }
+        let size = RectSize::new(20.0, 100.0);
+        let opts = ExactMaxRsOptions {
+            memory_rects: Some(8),
+            ..ExactMaxRsOptions::sequential()
+        };
+        let file = load_objects(&ctx, &objects).unwrap();
+        let everywhere = SweepPass::new(&ctx, &opts).max_rs(&file, size).unwrap();
+        let right_only = SweepPass::new(&ctx, &opts)
+            .with_root(Interval::new(400.0, 600.0))
+            .max_rs(&file, size)
+            .unwrap();
+        assert_eq!(everywhere.total_weight, 60.0);
+        assert_eq!(right_only.total_weight, 10.0);
+        assert!(right_only.center.x >= 400.0 && right_only.center.x <= 600.0);
+        ctx.delete_file(file).unwrap();
+    }
+
+    #[test]
+    fn staged_execution_equals_the_composed_pipeline() {
+        let ctx = tiny_ctx();
+        let objects = pseudo_random_objects(300, 7, 500.0);
+        let size = RectSize::square(60.0);
+        let opts = ExactMaxRsOptions::sequential();
+        let file = load_objects(&ctx, &objects).unwrap();
+        let pass = SweepPass::new(&ctx, &opts);
+
+        let composed = pass.max_rs(&file, size).unwrap();
+
+        let slab_file = pass.slab_file(&file, size).unwrap();
+        let extracted = pass.extract_best(&slab_file).unwrap();
+        ctx.delete_file(slab_file).unwrap();
+        let staged = pass.canonicalize(&file, size, extracted).unwrap();
+
+        assert_eq!(composed, staged);
+        ctx.delete_file(file).unwrap();
+    }
+}

@@ -1,8 +1,10 @@
 //! Regression tests for [`PreparedDataset`]: the one-time external x-sort is
 //! genuinely amortized (later queries do **zero** external-sort I/O, proven
-//! with `IoSnapshot` arithmetic against a sort lower bound), answers stay
-//! bit-identical to single-shot engine calls, and the retained sorted file is
-//! RAII-cleaned so `disk_blocks()` returns to its baseline.
+//! with [`IoSnapshot::total_delta`](maxrs_em::IoSnapshot::total_delta)
+//! arithmetic against a sort lower bound), answers stay bit-identical to
+//! single-shot engine
+//! calls, and the retained sorted file is RAII-cleaned so `disk_blocks()`
+//! returns to its baseline.
 
 use maxrs_core::{
     load_objects, EngineOptions, ExactMaxRsOptions, MaxRsEngine, ObjectRecord, Query,
@@ -86,7 +88,7 @@ fn second_run_performs_zero_external_sort_io() {
     for (name, run) in [("first", &first), ("second", &second)] {
         assert!(run.io.total() > 0, "{name} run does the sweep's I/O");
         assert!(
-            run.io.total() + sort_floor <= cold.io.total(),
+            cold.io.total_delta(&run.io) >= sort_floor,
             "{name} prepared run ({}) must undercut the cold run ({}) by \
              the sort floor ({sort_floor}): it re-sorted",
             run.io,
@@ -119,7 +121,7 @@ fn every_variant_reuses_the_prepared_sort() {
         let cold = engine.run(&objects, &query).unwrap();
         assert_eq!(warm.answer, cold.answer, "{}", query.name());
         assert!(
-            warm.io.total() + sort_floor <= cold.io.total(),
+            cold.io.total_delta(&warm.io) >= sort_floor,
             "{}: warm {} vs cold {} (sort floor {sort_floor})",
             query.name(),
             warm.io,

@@ -76,7 +76,7 @@ pub use pool::BufferPool;
 pub use record::{codec, Record};
 pub use rw::{TupleReader, TupleWriter};
 pub use sort::{external_sort, external_sort_by_key};
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{measure_thread_io, IoSnapshot, IoStats};
 
 /// Convenience result alias used throughout the EM layer.
 pub type Result<T> = std::result::Result<T, EmError>;

@@ -1,5 +1,6 @@
 //! I/O accounting.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of counter shards.  Each thread is pinned to one shard, so
@@ -41,6 +42,52 @@ static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+
+    /// Stack of active per-thread meters (see [`measure_thread_io`]); every
+    /// block transfer recorded by the current thread also increments each
+    /// active meter.
+    static THREAD_METERS: RefCell<Vec<IoSnapshot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Adds one transfer to every meter currently active on this thread.
+fn bump_thread_meters(reads: u64, writes: u64) {
+    THREAD_METERS.with(|meters| {
+        for m in meters.borrow_mut().iter_mut() {
+            m.reads += reads;
+            m.writes += writes;
+        }
+    });
+}
+
+/// Measures the block transfers recorded **by the current thread** while `f`
+/// runs, returning `f`'s result together with the observed [`IoSnapshot`].
+///
+/// This is the per-task accounting primitive for concurrent workloads: the
+/// global [`IoStats`] shards stay exact under parallelism but merge into one
+/// total, so a worker that wants to know what *its own* work cost wraps it in
+/// `measure_thread_io` (the batched query executor attributes per-group I/O
+/// this way while groups run on the `parallel_map` pool).  The meter counts
+/// every transfer the current thread triggers — including evictions of other
+/// files' dirty blocks it forces out of a shared buffer pool — and nothing
+/// done by other threads, so the measurement is only complete when the task
+/// runs single-threaded inside `f`.  Scopes nest; each returns its own count.
+pub fn measure_thread_io<R>(f: impl FnOnce() -> R) -> (R, IoSnapshot) {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            THREAD_METERS.with(|meters| {
+                meters.borrow_mut().pop();
+            });
+        }
+    }
+    THREAD_METERS.with(|meters| meters.borrow_mut().push(IoSnapshot::default()));
+    let guard = Guard;
+    let out = f();
+    let io = THREAD_METERS
+        .with(|meters| meters.borrow().last().copied())
+        .unwrap_or_default();
+    drop(guard);
+    (out, io)
 }
 
 impl IoStats {
@@ -56,11 +103,13 @@ impl IoStats {
     /// Records one block read.
     pub fn record_read(&self) {
         self.my_shard().reads.fetch_add(1, Ordering::Relaxed);
+        bump_thread_meters(1, 0);
     }
 
     /// Records one block write.
     pub fn record_write(&self) {
         self.my_shard().writes.fetch_add(1, Ordering::Relaxed);
+        bump_thread_meters(0, 1);
     }
 
     /// Returns the current counter values, merged over all per-thread shards.
@@ -97,12 +146,39 @@ impl IoSnapshot {
         self.reads + self.writes
     }
 
-    /// Difference between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+    /// The transfers `self` performed beyond `baseline`, per counter
+    /// (saturating at zero) — the canonical snapshot subtraction.
+    ///
+    /// Use this instead of hand-rolling `saturating_sub` on the fields: it
+    /// keeps reads and writes paired and composes with [`total`]
+    /// (`a.delta(&b).total()` is "how many more blocks did `a` move").
+    ///
+    /// [`total`]: IoSnapshot::total
+    pub fn delta(&self, baseline: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.saturating_sub(earlier.reads),
-            writes: self.writes.saturating_sub(earlier.writes),
+            reads: self.reads.saturating_sub(baseline.reads),
+            writes: self.writes.saturating_sub(baseline.writes),
         }
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`):
+    /// alias of [`delta`](IoSnapshot::delta) reading naturally when the
+    /// receiver is the later counter reading.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        self.delta(earlier)
+    }
+
+    /// How many more blocks `self` moved than `baseline` **in total**
+    /// (saturating at zero): `self.total() - baseline.total()`.
+    ///
+    /// This is *not* `delta(baseline).total()` — that saturates per counter
+    /// and can overstate the difference when one counter regresses while the
+    /// other grows.  Use `total_delta` for "did it really cost fewer blocks"
+    /// comparisons (savings reports, cost-floor assertions); use
+    /// [`delta`](IoSnapshot::delta) when both snapshots are readings of the
+    /// same monotonically increasing counters.
+    pub fn total_delta(&self, baseline: &IoSnapshot) -> u64 {
+        self.total().saturating_sub(baseline.total())
     }
 }
 
@@ -172,6 +248,82 @@ mod tests {
         );
         assert_eq!((a + b).total(), 18);
         assert!(a.to_string().contains("14 I/Os"));
+    }
+
+    #[test]
+    fn delta_is_the_canonical_subtraction() {
+        let after = IoSnapshot {
+            reads: 10,
+            writes: 4,
+        };
+        let before = IoSnapshot {
+            reads: 3,
+            writes: 6,
+        };
+        // Per-counter saturation: mixed over/undershoot never wraps.
+        assert_eq!(
+            after.delta(&before),
+            IoSnapshot {
+                reads: 7,
+                writes: 0
+            }
+        );
+        assert_eq!(after.since(&before), after.delta(&before));
+        // total_delta compares grand totals; the per-counter saturation of
+        // `delta` would claim 7 here, overstating the real difference of 5.
+        assert_eq!(after.total_delta(&before), 5);
+        assert_eq!(before.total_delta(&after), 0);
+    }
+
+    #[test]
+    fn thread_meter_counts_only_the_current_thread() {
+        use std::sync::Arc;
+        let stats = Arc::new(IoStats::new());
+        let background = Arc::clone(&stats);
+        let (_, io) = measure_thread_io(|| {
+            // Another thread hammers the same stats while we record 3 + 1.
+            let handle = std::thread::spawn(move || {
+                for _ in 0..500 {
+                    background.record_read();
+                    background.record_write();
+                }
+            });
+            stats.record_read();
+            stats.record_read();
+            stats.record_read();
+            stats.record_write();
+            handle.join().unwrap();
+        });
+        assert_eq!(io.reads, 3);
+        assert_eq!(io.writes, 1);
+        // The global shards still saw everything.
+        assert_eq!(stats.snapshot().reads, 503);
+        assert_eq!(stats.snapshot().writes, 501);
+    }
+
+    #[test]
+    fn thread_meters_nest() {
+        let stats = IoStats::new();
+        let ((_, inner), outer) = measure_thread_io(|| {
+            stats.record_read();
+            let inner = measure_thread_io(|| stats.record_write());
+            stats.record_read();
+            inner
+        });
+        assert_eq!(
+            inner,
+            IoSnapshot {
+                reads: 0,
+                writes: 1
+            }
+        );
+        assert_eq!(
+            outer,
+            IoSnapshot {
+                reads: 2,
+                writes: 1
+            }
+        );
     }
 
     #[test]

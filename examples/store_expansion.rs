@@ -1,15 +1,18 @@
 //! Store expansion planning with the future-work extensions of the paper:
 //! MaxkRS (open several stores at once) and MinRS (find the least-served spot
-//! inside a district) — asked of one [`PreparedDataset`], so the external
-//! x-sort of the customer file is paid once, not once per question.
+//! inside a district) — asked of one [`PreparedDataset`] as a single
+//! **batch**, so the external x-sort of the customer file is paid once and
+//! the questions sharing the delivery-area size share one sweep pass too.
 //!
 //! ```text
 //! cargo run --release --example store_expansion
 //! ```
+//!
+//! [`PreparedDataset`]: maxrs::PreparedDataset
 
 use maxrs::datagen::{Dataset, DatasetKind};
 use maxrs::geometry::Rect;
-use maxrs::{MaxRsEngine, Query, RectSize};
+use maxrs::{MaxRsEngine, Query, QueryBatch, RectSize};
 
 fn main() {
     // Customer locations in a metropolitan area.
@@ -25,7 +28,7 @@ fn main() {
     // One engine answers every variant below; it auto-selects the execution
     // strategy (in-memory vs. external, sequential vs. parallel) per query.
     // `prepare` runs the transform-independent preprocessing (the external
-    // x-sort) once; every question below reuses it.
+    // x-sort) once; the whole batch below reuses it.
     let engine = MaxRsEngine::new();
     let prepared = engine.prepare(&customers.objects).unwrap();
     println!(
@@ -35,20 +38,40 @@ fn main() {
         prepared.prepare_io()
     );
 
-    // --- One store: plain MaxRS ------------------------------------------------
-    let run = prepared.run(&Query::max_rs(delivery)).unwrap();
-    let single = *run.answer.as_max_rs().expect("rectangle answer");
+    // The whole planning session as one batch: the MaxRS and MaxkRS
+    // questions share the delivery-size sweep pass, MinRS gets its own
+    // weight-negated pass over the downtown slab.
+    let downtown = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
+    let queries = [
+        Query::max_rs(delivery),
+        Query::top_k(delivery, 4),
+        Query::min_rs(delivery, downtown),
+    ];
+    let plan = QueryBatch::new(&queries).unwrap();
     println!(
-        "\n1 store : place at ({:.0}, {:.0}) -> {} customers served [{}]",
+        "batch: {} queries in {} shared sweep passes",
+        plan.len(),
+        plan.num_groups()
+    );
+    let runs = prepared.run_planned(&plan).unwrap();
+
+    // --- One store: plain MaxRS ------------------------------------------------
+    let single = *runs[0].answer.as_max_rs().expect("rectangle answer");
+    println!(
+        "\n1 store : place at ({:.0}, {:.0}) -> {} customers served [{}, {}]",
         single.center.x,
         single.center.y,
         single.total_weight,
-        run.strategy.name()
+        runs[0].strategy.name(),
+        runs[0].io,
     );
 
     // --- A chain of four stores: greedy MaxkRS ---------------------------------
-    let run = prepared.run(&Query::top_k(delivery, 4)).unwrap();
-    let chain = run.answer.placements().expect("placement list").to_vec();
+    let chain = runs[1]
+        .answer
+        .placements()
+        .expect("placement list")
+        .to_vec();
     println!("\n4 stores (greedy MaxkRS, non-overlapping service areas):");
     let mut covered = 0.0;
     for (i, store) in chain.iter().enumerate() {
@@ -69,12 +92,15 @@ fn main() {
     assert!(covered >= single.total_weight);
 
     // --- Where is the most under-served spot downtown? MinRS -------------------
-    let downtown = Rect::new(200_000.0, 800_000.0, 200_000.0, 800_000.0);
-    let run = prepared.run(&Query::min_rs(delivery, downtown)).unwrap();
-    let quietest = *run.answer.as_max_rs().expect("rectangle answer");
+    let quietest = *runs[2].answer.as_max_rs().expect("rectangle answer");
     println!(
         "\nLeast-served location inside downtown: ({:.0}, {:.0}) with only {} customers in range",
         quietest.center.x, quietest.center.y, quietest.total_weight
     );
     assert!(quietest.total_weight <= single.total_weight);
+
+    // The batch is pure optimization: every answer is bit-identical to the
+    // per-query path.
+    let check = prepared.run(&Query::max_rs(delivery)).unwrap();
+    assert_eq!(check.answer, runs[0].answer);
 }

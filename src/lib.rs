@@ -61,8 +61,8 @@ pub use maxrs_core::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, exact_max_crs_in_memory,
     exact_max_rs, exact_max_rs_from_objects, load_objects, max_k_rs_in_memory, max_rs_in_memory,
     min_rs_in_memory, ApproxMaxCrsOptions, EngineError, EngineOptions, EngineRun,
-    ExactMaxRsOptions, ExecutionStrategy, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset,
-    Query, QueryAnswer, QueryRun,
+    ExactMaxRsOptions, ExecutionStrategy, InputOrder, MaxCrsResult, MaxRsEngine, MaxRsResult,
+    PreparedDataset, Query, QueryAnswer, QueryBatch, QueryRun, SweepPass,
 };
 pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
