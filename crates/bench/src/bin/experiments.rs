@@ -27,11 +27,13 @@ use maxrs_bench::figures::{
 use maxrs_bench::json::Value;
 use maxrs_bench::report::FigureReport;
 use maxrs_bench::runner::{run_prepared_reuse, run_query_batch, BatchRun, PreparedReuseRun};
+use maxrs_bench::serve_run::{run_serve, ServeRun};
 use maxrs_bench::stream_run::{run_stream, StreamRun};
 use maxrs_bench::tables::{table2, table3};
 use maxrs_core::Query;
 use maxrs_datagen::{Dataset, DatasetKind, EventStreamConfig};
 use maxrs_geometry::{Rect, RectSize};
+use maxrs_serve::{OverloadPolicy, ServeConfig};
 use maxrs_stream::StreamConfig;
 
 struct Args {
@@ -77,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "usage: experiments \
-     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream> \
+     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
 }
 
@@ -171,6 +173,79 @@ fn batch_runs(opts: &FigureOptions) -> Vec<BatchRun> {
             run
         })
         .collect()
+}
+
+/// Closed-loop load generation against the concurrent serving layer: 8
+/// client threads drive a [`MaxRsServer`](maxrs_serve::MaxRsServer) over one
+/// registered dataset, once with the default dynamic micro-batching and once
+/// in pass-through mode (`max_batch = 1`) as the no-batching baseline.  The
+/// batched row must show a mean flushed batch size above 1 — the direct
+/// evidence that strangers' queries shared sweep passes — and every response
+/// in both rows is verified bit-identical to a sequential run.
+fn serve_runs(opts: &FigureOptions) -> Vec<ServeRun> {
+    let n = opts.scale.cardinality(PAPER_CARDINALITY);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let ds = Dataset::generate(DatasetKind::Uniform, n, opts.seed);
+    let size = RectSize::square(PAPER_RANGE);
+    let domain = Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0);
+    let pool = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 2),
+        Query::approx_max_crs(PAPER_RANGE),
+        Query::min_rs(size, domain),
+        Query::max_rs(RectSize::square(PAPER_RANGE * 2.0)),
+    ];
+    let batched = ServeConfig {
+        window: std::time::Duration::from_millis(3),
+        max_batch: 8,
+        workers: 2,
+        queue_capacity: 1024,
+        overload: OverloadPolicy::Block,
+    };
+    let pass_through = ServeConfig {
+        max_batch: 1,
+        ..batched
+    };
+    let run =
+        run_serve(config, &ds.objects, &pool, batched, 8, 12).expect("serve measurement failed");
+    assert!(run.verified, "served answers diverged from sequential runs");
+    assert!(
+        run.mean_batch_size > 1.0,
+        "micro-batching never grouped concurrent queries (mean batch size {})",
+        run.mean_batch_size
+    );
+    let baseline = run_serve(config, &ds.objects, &pool, pass_through, 8, 12)
+        .expect("serve baseline measurement failed");
+    assert!(baseline.verified, "pass-through answers diverged");
+    vec![run, baseline]
+}
+
+fn print_serve_rows(rows: &[ServeRun]) {
+    for row in rows {
+        let histogram: Vec<String> = row
+            .batch_histogram
+            .iter()
+            .map(|(size, count)| format!("{size}x{count}"))
+            .collect();
+        println!(
+            "  backend={:<4} n={} clients={} window={:.1?} max_batch={} workers={} \
+             qps={:.0} p50={:.1?} p95={:.1?} p99={:.1?} mean_batch={:.2} \
+             groups={} hist=[{}]",
+            row.backend,
+            row.n,
+            row.clients,
+            std::time::Duration::from_nanos(row.window_ns),
+            row.max_batch,
+            row.workers,
+            row.qps(),
+            std::time::Duration::from_nanos(row.latency_ns(0.50) as u64),
+            std::time::Duration::from_nanos(row.latency_ns(0.95) as u64),
+            std::time::Duration::from_nanos(row.latency_ns(0.99) as u64),
+            row.mean_batch_size,
+            row.sweep_groups,
+            histogram.join(", "),
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -310,6 +385,14 @@ fn main() -> ExitCode {
         }
         println!("[stream took {:.1?}]", t.elapsed());
     }
+    let mut serve_rows: Vec<ServeRun> = Vec::new();
+    if matches!(command, "serve" | "all") {
+        let t = Instant::now();
+        serve_rows = serve_runs(&opts);
+        println!("\nserve (closed-loop clients vs. micro-batching server, verified):");
+        print_serve_rows(&serve_rows);
+        println!("[serve took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
         "all"
@@ -324,9 +407,47 @@ fn main() -> ExitCode {
             | "prepared"
             | "batch"
             | "stream"
+            | "serve"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
+    }
+
+    // Fixed-scale regression artifacts: every `batch` / `serve` (or `all`)
+    // invocation rewrites BENCH_batch.json / BENCH_serve.json at smoke scale
+    // with a fixed seed, so consecutive runs produce comparable rows no
+    // matter what --scale / --seed the interactive sweep above used.
+    if matches!(command, "batch" | "all") {
+        let smoke = FigureOptions {
+            scale: ExperimentScale::smoke(),
+            seed: 42,
+            algorithms: opts.algorithms,
+        };
+        let rows: Vec<Value> = batch_runs(&smoke).iter().map(BatchRun::to_value).collect();
+        let path = "BENCH_batch.json";
+        match fs::write(path, Value::Array(rows).to_pretty_string()) {
+            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if matches!(command, "serve" | "all") {
+        let smoke = FigureOptions {
+            scale: ExperimentScale::smoke(),
+            seed: 42,
+            algorithms: opts.algorithms,
+        };
+        let rows: Vec<Value> = serve_runs(&smoke).iter().map(ServeRun::to_value).collect();
+        let path = "BENCH_serve.json";
+        match fs::write(path, Value::Array(rows).to_pretty_string()) {
+            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(path) = args.json_path {
@@ -336,6 +457,7 @@ fn main() -> ExitCode {
             .chain(prepared_rows.iter().map(PreparedReuseRun::to_value))
             .chain(batch_rows.iter().map(BatchRun::to_value))
             .chain(stream_rows.iter().map(StreamRun::to_value))
+            .chain(serve_rows.iter().map(ServeRun::to_value))
             .collect();
         let count = values.len();
         let json = Value::Array(values).to_pretty_string();

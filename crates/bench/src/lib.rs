@@ -19,9 +19,12 @@
 //!
 //! Beyond the paper's own evaluation, the binary also measures the
 //! workspace's extensions: `prepared` (sort-once repeated querying, see
-//! [`runner::run_prepared_reuse`]) and `stream` (incremental MaxRS over
+//! [`runner::run_prepared_reuse`]), `stream` (incremental MaxRS over
 //! event streams, see [`stream_run::run_stream`] — ingest events/sec,
-//! incremental answer latency and the speedup over full recomputes).
+//! incremental answer latency and the speedup over full recomputes) and
+//! `serve` (closed-loop load generation against the concurrent serving
+//! layer, see [`serve_run::run_serve`] — queries/sec, latency percentiles
+//! and the micro-batch size histogram, every response verified).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +34,12 @@ pub mod figures;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod serve_run;
 pub mod stream_run;
 pub mod tables;
 
 pub use config::{ExperimentScale, PAPER_BLOCK_SIZE};
 pub use report::{FigureReport, Series, SeriesPoint};
 pub use runner::{run_algorithm, AlgorithmRun};
+pub use serve_run::{run_serve, ServeRun};
 pub use stream_run::{run_stream, StreamRun};

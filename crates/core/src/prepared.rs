@@ -231,6 +231,24 @@ impl PreparedDataset<'_> {
         }
     }
 
+    /// Estimated bytes this dataset keeps resident while it lives: the
+    /// in-memory object vector, or the retained sorted file's blocks for an
+    /// external dataset.  This is what a serving-layer cache (e.g.
+    /// `maxrs-serve`'s `DatasetRegistry`) charges against its memory budget —
+    /// an estimate of the *retained* footprint, not of the transient working
+    /// memory a query borrows from the buffer pool.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.source {
+            Source::Memory(objects) => {
+                (objects.len() * std::mem::size_of::<WeightedPoint>()) as u64
+            }
+            Source::External { ctx, .. } => {
+                let config = ctx.get().config();
+                config.blocks_for::<ObjectRecord>(self.len) * config.block_size as u64
+            }
+        }
+    }
+
     /// Answers any [`Query`] variant against the prepared data.
     ///
     /// External datasets pay the `O(N/B)` transform scan plus the

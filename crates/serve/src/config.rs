@@ -1,0 +1,126 @@
+//! Server configuration: batching window, thresholds, worker pool and
+//! admission control.
+
+use std::time::Duration;
+
+use maxrs_core::CoreError;
+
+use crate::error::{Result, ServeError};
+
+/// What [`MaxRsServer::submit`](crate::MaxRsServer::submit) does when the
+/// bounded submission queue is full (the queue has outrun the worker pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Reject the query immediately with [`ServeError::Overloaded`] (load
+    /// shedding): latency stays bounded, throughput is capped by the workers.
+    Shed,
+    /// Block the submitting thread until a slot frees up (backpressure): no
+    /// query is lost, the *client* slows down instead.  A blocked submitter
+    /// is released with [`ServeError::ShuttingDown`] if the server drains
+    /// while it waits.
+    Block,
+}
+
+/// Configuration of a [`MaxRsServer`](crate::MaxRsServer).
+///
+/// The two batching knobs implement the dynamic micro-batching rule:
+/// a pending micro-batch is flushed to the workers as soon as **either** it
+/// holds [`max_batch`](ServeConfig::max_batch) queries **or** its oldest
+/// query has waited [`window`](ServeConfig::window) — whichever comes first.
+/// A zero window degenerates to pass-through (every submission flushes
+/// immediately); a `max_batch` of 1 does the same by the size rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum time a submitted query may wait for strangers to share a sweep
+    /// with before its batch is flushed regardless of size.  This bounds the
+    /// batching-induced latency: worst-case added latency is one `window`
+    /// plus queueing.
+    pub window: Duration,
+    /// Size threshold: a pending batch of this many queries flushes
+    /// immediately.  Must be at least 1.
+    pub max_batch: usize,
+    /// Worker threads executing flushed batches concurrently.  Must be at
+    /// least 1.
+    pub workers: usize,
+    /// Bound on admitted-but-unanswered queries (pending + executing).  When
+    /// reached, [`overload`](ServeConfig::overload) decides between shedding
+    /// and blocking.  Must be at least 1.
+    pub queue_capacity: usize,
+    /// What to do when `queue_capacity` is reached.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for ServeConfig {
+    /// A 2 ms window, batches of up to 16, a worker pool bounded by the
+    /// available cores (at most 4), room for 1024 in-flight queries, and
+    /// load shedding.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ServeConfig {
+            window: Duration::from_millis(2),
+            max_batch: 16,
+            workers: cores.clamp(1, 4),
+            queue_capacity: 1024,
+            overload: OverloadPolicy::Shed,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration, rejecting zero thresholds that would make
+    /// the scheduler degenerate (a batch that can never fill, a pool with no
+    /// workers, a queue that admits nothing).
+    pub fn validate(&self) -> Result<()> {
+        let reject = |what: &str| {
+            Err(ServeError::Core(CoreError::InvalidParameter(format!(
+                "{what} must be at least 1"
+            ))))
+        };
+        if self.max_batch == 0 {
+            return reject("max_batch");
+        }
+        if self.workers == 0 {
+            return reject("workers");
+        }
+        if self.queue_capacity == 0 {
+            return reject("queue_capacity");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let config = ServeConfig::default();
+        assert!(config.validate().is_ok());
+        assert!(config.workers >= 1);
+        assert_eq!(config.overload, OverloadPolicy::Shed);
+    }
+
+    #[test]
+    fn zero_thresholds_are_rejected() {
+        for bad in [
+            ServeConfig {
+                max_batch: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                workers: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                bad.validate(),
+                Err(ServeError::Core(CoreError::InvalidParameter(_)))
+            ));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type of the serving layer.
+
+use maxrs_core::CoreError;
+
+/// Errors raised by the serving layer — admission control, dataset lookup and
+/// query execution, as distinct from the algorithm-layer [`CoreError`]s they
+/// may wrap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The submission queue is full and the server's overload policy is
+    /// [`OverloadPolicy::Shed`](crate::OverloadPolicy::Shed): the query was
+    /// rejected at the door (load shedding).  The client may retry later.
+    Overloaded,
+    /// The server is draining: new submissions are refused, but every query
+    /// admitted before shutdown still receives its reply.
+    ShuttingDown,
+    /// No dataset with this id is currently registered (never registered, or
+    /// evicted by the registry's LRU policy).
+    UnknownDataset(String),
+    /// The query (or the server/registry configuration) was rejected before
+    /// admission — typically a [`CoreError::InvalidParameter`] from
+    /// [`Query::validate`](maxrs_core::Query::validate), or a preparation
+    /// failure inside [`DatasetRegistry::insert`](crate::DatasetRegistry).
+    Core(CoreError),
+    /// The shared batch this query rode in failed during execution.  The
+    /// underlying [`CoreError`] is stringified because one failure fans out
+    /// to every member of the batch.
+    Execution(String),
+    /// The response channel closed without a reply — a worker panicked while
+    /// executing the batch.  Defensive: the scheduler's contract (and its
+    /// property tests) say every admitted query gets exactly one reply.
+    ChannelClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: submission queue full, query shed")
+            }
+            ServeError::ShuttingDown => write!(f, "server shutting down: submission refused"),
+            ServeError::UnknownDataset(id) => write!(f, "unknown dataset id: {id:?}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Execution(msg) => write!(f, "batch execution failed: {msg}"),
+            ServeError::ChannelClosed => {
+                write!(f, "response channel closed without a reply (worker died)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(ServeError::Overloaded.to_string().contains("shed"));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        assert!(ServeError::UnknownDataset("ds".into())
+            .to_string()
+            .contains("ds"));
+        let e: ServeError = CoreError::InvalidParameter("bad width".into()).into();
+        assert!(e.to_string().contains("bad width"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(ServeError::Overloaded.source().is_none());
+        assert!(ServeError::Execution("io".into())
+            .to_string()
+            .contains("io"));
+        assert!(ServeError::ChannelClosed.to_string().contains("reply"));
+    }
+}

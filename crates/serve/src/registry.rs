@@ -1,0 +1,318 @@
+//! [`DatasetRegistry`]: a cache of [`PreparedDataset`]s keyed by dataset id.
+//!
+//! A long-lived server answers queries against many datasets, and preparing
+//! one (the external x-sort) is exactly the cost
+//! [`MaxRsEngine::prepare`] exists to amortize.  The registry caches prepared
+//! datasets behind ref-counted handles so concurrent batches share one
+//! preparation, and it enforces a configurable memory budget with LRU
+//! eviction: when the retained footprint
+//! ([`PreparedDataset::resident_bytes`]) of the cached datasets exceeds the
+//! budget, the least-recently-used entries are dropped from the cache.
+//!
+//! Eviction never invalidates in-flight work: a [`DatasetHandle`] is an
+//! `Arc`, so a dataset stays alive (and its retained file on disk) until the
+//! last handle drops — eviction only stops *new* lookups from finding it.
+//! The RAII drop of [`PreparedDataset`] then deletes the retained blocks, so
+//! a registry churning through datasets never leaks disk space.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use maxrs_core::{MaxRsEngine, PreparedDataset};
+use maxrs_geometry::WeightedPoint;
+use parking_lot::Mutex;
+
+use crate::error::Result;
+
+/// A ref-counted handle to a cached dataset.  Cloning is cheap; the dataset
+/// (and its retained sorted file) lives until the last handle drops.
+pub type DatasetHandle = Arc<PreparedDataset<'static>>;
+
+struct Entry {
+    data: DatasetHandle,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Logical clock for LRU ordering: bumped on every insert/get.
+    tick: u64,
+    /// Sum of `bytes` over the cached entries.
+    resident: u64,
+}
+
+/// A concurrent cache of prepared datasets keyed by dataset id, with
+/// ref-counted handles and LRU eviction under a memory budget.
+///
+/// ```
+/// use maxrs_core::{MaxRsEngine, Query};
+/// use maxrs_geometry::{RectSize, WeightedPoint};
+/// use maxrs_serve::DatasetRegistry;
+///
+/// let registry = DatasetRegistry::new(MaxRsEngine::new());
+/// let cafes = vec![
+///     WeightedPoint::unit(1.0, 1.0),
+///     WeightedPoint::unit(1.4, 1.2),
+///     WeightedPoint::unit(6.0, 6.0),
+/// ];
+/// registry.insert("cafes", &cafes).unwrap();
+///
+/// let handle = registry.get("cafes").unwrap();
+/// let run = handle.run(&Query::max_rs(RectSize::square(2.0))).unwrap();
+/// assert_eq!(run.answer.best_weight(), 2.0);
+/// ```
+pub struct DatasetRegistry {
+    engine: MaxRsEngine,
+    budget_bytes: Option<u64>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for DatasetRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("DatasetRegistry")
+            .field("datasets", &inner.entries.len())
+            .field("resident_bytes", &inner.resident)
+            .field("budget_bytes", &self.budget_bytes)
+            .finish()
+    }
+}
+
+impl DatasetRegistry {
+    /// Creates an unbounded registry preparing datasets with `engine`'s
+    /// configuration (memory budget disabled: nothing is ever evicted).
+    pub fn new(engine: MaxRsEngine) -> Self {
+        DatasetRegistry {
+            engine,
+            budget_bytes: None,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                resident: 0,
+            }),
+        }
+    }
+
+    /// Creates a registry evicting least-recently-used datasets once the
+    /// cached retained footprint exceeds `budget_bytes`.  The most recently
+    /// touched dataset is never evicted, so a single dataset larger than the
+    /// budget still serves (the budget bounds the *cache*, not one dataset).
+    pub fn with_budget(engine: MaxRsEngine, budget_bytes: u64) -> Self {
+        DatasetRegistry {
+            budget_bytes: Some(budget_bytes),
+            ..Self::new(engine)
+        }
+    }
+
+    /// Prepares `objects` (pays the external x-sort once) and caches the
+    /// result under `id`, returning a handle.  Replaces any dataset already
+    /// cached under the same id — existing handles to the replaced dataset
+    /// stay valid until dropped.  May evict least-recently-used *other*
+    /// entries to respect the memory budget.
+    ///
+    /// Preparation runs outside the registry lock, so concurrent lookups of
+    /// other datasets never stall behind a slow external sort.
+    pub fn insert(&self, id: &str, objects: &[WeightedPoint]) -> Result<DatasetHandle> {
+        let prepared: DatasetHandle = Arc::new(self.engine.prepare(objects)?);
+        let bytes = prepared.resident_bytes();
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let last_used = inner.tick;
+        if let Some(old) = inner.entries.insert(
+            id.to_string(),
+            Entry {
+                data: Arc::clone(&prepared),
+                bytes,
+                last_used,
+            },
+        ) {
+            inner.resident -= old.bytes;
+        }
+        inner.resident += bytes;
+        self.evict_over_budget(&mut inner);
+        Ok(prepared)
+    }
+
+    /// Looks up a dataset, refreshing its LRU position.  `None` when the id
+    /// was never registered or has been evicted.
+    pub fn get(&self, id: &str) -> Option<DatasetHandle> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(id)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.data))
+    }
+
+    /// Drops `id` from the cache, returning whether it was present.  Handles
+    /// already given out stay valid; the dataset's retained file is deleted
+    /// when the last one drops.
+    pub fn evict(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(id) {
+            Some(entry) => {
+                inner.resident -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when a dataset is cached under `id`.
+    pub fn contains(&self, id: &str) -> bool {
+        self.inner.lock().entries.contains_key(id)
+    }
+
+    /// Number of cached datasets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// `true` when no datasets are cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Estimated retained bytes of the cached datasets (the quantity the
+    /// memory budget bounds).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().resident
+    }
+
+    /// The configured memory budget, `None` when unbounded.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// Evicts least-recently-used entries until the footprint fits the
+    /// budget, always keeping the most recently touched entry.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while inner.resident > budget && inner.entries.len() > 1 {
+            let (victim, newest) = {
+                let mut by_use = inner.entries.iter().map(|(id, e)| (e.last_used, id));
+                let first = by_use.next().expect("len > 1 checked above");
+                let (mut victim, mut newest) = (first, first);
+                for candidate in by_use {
+                    if candidate.0 < victim.0 {
+                        victim = candidate;
+                    }
+                    if candidate.0 > newest.0 {
+                        newest = candidate;
+                    }
+                }
+                (victim.1.clone(), newest.1.clone())
+            };
+            if victim == newest {
+                break;
+            }
+            let entry = inner.entries.remove(&victim).expect("victim exists");
+            inner.resident -= entry.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxrs_core::{EngineOptions, ExactMaxRsOptions, Query};
+    use maxrs_em::EmConfig;
+    use maxrs_geometry::RectSize;
+
+    fn objects(n: usize, seed: u64) -> Vec<WeightedPoint> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                WeightedPoint::at(
+                    next() * 1000.0,
+                    next() * 1000.0,
+                    1.0 + (next() * 4.0).floor(),
+                )
+            })
+            .collect()
+    }
+
+    fn external_engine() -> MaxRsEngine {
+        MaxRsEngine::with_options(EngineOptions {
+            em_config: EmConfig::new(512, 32 * 512).unwrap(),
+            exact: ExactMaxRsOptions {
+                memory_rects: Some(64),
+                parallelism: 1,
+                ..Default::default()
+            },
+            force_strategy: None,
+        })
+    }
+
+    #[test]
+    fn insert_get_evict_roundtrip() {
+        let registry = DatasetRegistry::new(MaxRsEngine::new());
+        assert!(registry.is_empty());
+        assert!(registry.get("missing").is_none());
+        registry.insert("a", &objects(50, 3)).unwrap();
+        assert!(registry.contains("a"));
+        assert_eq!(registry.len(), 1);
+        let handle = registry.get("a").unwrap();
+        let run = handle.run(&Query::max_rs(RectSize::square(100.0))).unwrap();
+        assert!(run.answer.best_weight() >= 1.0);
+        assert!(registry.evict("a"));
+        assert!(!registry.evict("a"));
+        // The outstanding handle still answers after eviction.
+        assert!(handle.run(&Query::max_rs(RectSize::square(100.0))).is_ok());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let engine = external_engine();
+        let probe = Arc::new(engine.prepare(&objects(600, 1)).unwrap());
+        let per_dataset = probe.resident_bytes();
+        assert!(per_dataset > 0);
+        drop(probe);
+
+        // Budget fits two datasets of this size, not three.
+        let registry = DatasetRegistry::with_budget(external_engine(), 2 * per_dataset);
+        registry.insert("a", &objects(600, 1)).unwrap();
+        registry.insert("b", &objects(600, 2)).unwrap();
+        assert_eq!(registry.len(), 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(registry.get("a").is_some());
+        registry.insert("c", &objects(600, 3)).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert!(registry.contains("a"), "recently used survives");
+        assert!(!registry.contains("b"), "LRU entry evicted");
+        assert!(registry.contains("c"), "new entry never self-evicts");
+        assert!(registry.resident_bytes() <= 2 * per_dataset);
+    }
+
+    #[test]
+    fn single_oversized_dataset_is_kept() {
+        let registry = DatasetRegistry::with_budget(external_engine(), 1);
+        registry.insert("huge", &objects(600, 9)).unwrap();
+        assert!(registry.contains("huge"));
+        assert!(registry.resident_bytes() > 1);
+        // A second insert evicts the older oversized entry.
+        registry.insert("huge2", &objects(600, 10)).unwrap();
+        assert!(!registry.contains("huge"));
+        assert!(registry.contains("huge2"));
+    }
+
+    #[test]
+    fn replacing_an_id_updates_accounting() {
+        let registry = DatasetRegistry::new(external_engine());
+        registry.insert("a", &objects(600, 4)).unwrap();
+        let before = registry.resident_bytes();
+        registry.insert("a", &objects(600, 5)).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.resident_bytes(), before);
+    }
+}

@@ -1,0 +1,117 @@
+//! Serving counters: throughput, shedding, and the batch-size histogram that
+//! shows whether strangers' queries are actually sharing sweeps.
+
+/// Mutable counters kept behind the server mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) shed: u64,
+    pub(crate) sweep_groups: u64,
+    batches: u64,
+    batched_queries: u64,
+    /// `size_counts[s]` counts flushed batches of exactly `s` queries
+    /// (index 0 is unused — an empty flush never leaves the batcher).
+    size_counts: Vec<u64>,
+}
+
+impl StatsInner {
+    /// Records one flushed micro-batch of `len` queries.
+    pub(crate) fn record_flush(&mut self, len: usize) {
+        self.batches += 1;
+        self.batched_queries += len as u64;
+        if self.size_counts.len() <= len {
+            self.size_counts.resize(len + 1, 0);
+        }
+        self.size_counts[len] += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            shed: self.shed,
+            sweep_groups: self.sweep_groups,
+            batches: self.batches,
+            batched_queries: self.batched_queries,
+            size_counts: self.size_counts.clone(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's counters
+/// (see [`MaxRsServer::stats`](crate::MaxRsServer::stats)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Queries admitted past admission control.
+    pub submitted: u64,
+    /// Queries answered (replies sent).
+    pub completed: u64,
+    /// Queries rejected with `Overloaded` under the shed policy.
+    pub shed: u64,
+    /// Sweep groups executed across all batches — strictly less than
+    /// `completed` exactly when batching shared sweeps between queries.
+    pub sweep_groups: u64,
+    /// Micro-batches flushed to the workers.
+    pub batches: u64,
+    /// Total queries across those batches (equals the sum over the
+    /// histogram of `size × count`).
+    pub batched_queries: u64,
+    size_counts: Vec<u64>,
+}
+
+impl ServerStats {
+    /// Mean flushed batch size; `0.0` before the first flush.  Under
+    /// concurrent load this exceeding 1 is the whole point of micro-batching.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Largest batch flushed so far (0 before the first flush).
+    pub fn max_batch_size(&self) -> usize {
+        self.size_counts
+            .iter()
+            .rposition(|&count| count > 0)
+            .unwrap_or(0)
+    }
+
+    /// The batch-size histogram as `(size, batches_of_that_size)` pairs,
+    /// ascending by size, zero-count sizes omitted.
+    pub fn batch_size_histogram(&self) -> Vec<(usize, u64)> {
+        self.size_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(size, &count)| (size, count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_and_mean_track_flushes() {
+        let mut inner = StatsInner::default();
+        let empty = inner.snapshot();
+        assert_eq!(empty.mean_batch_size(), 0.0);
+        assert_eq!(empty.max_batch_size(), 0);
+        assert!(empty.batch_size_histogram().is_empty());
+
+        inner.record_flush(1);
+        inner.record_flush(3);
+        inner.record_flush(3);
+        inner.record_flush(5);
+        let stats = inner.snapshot();
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.batched_queries, 12);
+        assert!((stats.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert_eq!(stats.max_batch_size(), 5);
+        assert_eq!(stats.batch_size_histogram(), vec![(1, 1), (3, 2), (5, 1)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Scheduler property tests: across random configurations, submission
+//! timings and shutdown points, the serving layer never loses, duplicates or
+//! reorders a client's queries, and every admitted query gets **exactly one**
+//! reply — also when the server is shut down while busy, and under overload
+//! shedding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use maxrs_core::{MaxRsEngine, Query};
+use maxrs_geometry::{RectSize, WeightedPoint};
+use maxrs_serve::{
+    DatasetRegistry, MaxRsServer, MicroBatcher, OverloadPolicy, ServeConfig, ServeError,
+};
+use proptest::prelude::*;
+
+/// A tiny in-memory dataset (fast per-query execution, so the property loop
+/// stays cheap): three unit points, two of them close together.
+fn tiny_registry() -> Arc<DatasetRegistry> {
+    let registry = Arc::new(DatasetRegistry::new(MaxRsEngine::new()));
+    let objects = vec![
+        WeightedPoint::unit(1.0, 1.0),
+        WeightedPoint::unit(1.4, 1.2),
+        WeightedPoint::unit(6.0, 6.0),
+    ];
+    registry.insert("tiny", &objects).unwrap();
+    registry
+}
+
+/// A distinct query per (client, sequence-index): the echoed query in the
+/// response proves replies are never cross-wired between clients.
+fn client_query(client: usize, index: usize) -> Query {
+    Query::max_rs(RectSize::square(
+        1.0 + client as f64 * 0.01 + index as f64 * 0.001,
+    ))
+}
+
+proptest! {
+    /// Pure batcher: concatenating every flushed batch (submit-triggered,
+    /// poll-triggered and the final drain) reproduces the submission sequence
+    /// exactly — nothing lost, nothing duplicated, nothing reordered — for
+    /// any window, any size threshold, any clock gaps, any poll
+    /// interleaving.  Every flushed batch respects the size threshold and is
+    /// non-empty.
+    #[test]
+    fn batcher_flushes_partition_the_submission_sequence(
+        window in 0u64..5_000,
+        max_batch in 1usize..9,
+        ops in prop::collection::vec((0u64..2_000, 0u32..3), 1..80),
+    ) {
+        let mut batcher = MicroBatcher::new(window, max_batch);
+        let mut clock = 0u64;
+        let mut submitted = 0u32;
+        let mut flushed: Vec<u32> = Vec::new();
+        let record = |batch: Vec<u32>, flushed: &mut Vec<u32>| {
+            prop_assert!(!batch.is_empty(), "an empty batch must never flush");
+            prop_assert!(batch.len() <= max_batch, "size threshold exceeded");
+            flushed.extend(batch);
+        };
+        for (gap, kind) in ops {
+            clock += gap;
+            if kind == 0 {
+                // A flush tick at the current clock.
+                if let Some(batch) = batcher.poll(clock) {
+                    record(batch, &mut flushed);
+                }
+            } else {
+                // A submission (twice as likely as a poll).
+                if let Some(batch) = batcher.submit(submitted, clock) {
+                    record(batch, &mut flushed);
+                }
+                submitted += 1;
+            }
+        }
+        if let Some(batch) = batcher.drain() {
+            record(batch, &mut flushed);
+        }
+        prop_assert!(batcher.is_empty(), "drain left residue behind");
+        let expected: Vec<u32> = (0..submitted).collect();
+        prop_assert_eq!(
+            flushed, expected,
+            "flushes must partition the submission sequence in order"
+        );
+    }
+
+    /// `poll` flushes exactly at `next_deadline`, never one tick before, for
+    /// any submission instant and window.
+    #[test]
+    fn poll_agrees_with_next_deadline(
+        window in 0u64..100_000,
+        at in 0u64..1_000_000,
+    ) {
+        let mut batcher = MicroBatcher::new(window, 64);
+        match batcher.submit(1u8, at) {
+            Some(batch) => {
+                // Zero-length window: pass-through, nothing left pending.
+                prop_assert_eq!(window, 0);
+                prop_assert_eq!(batch, vec![1u8]);
+                prop_assert!(batcher.is_empty());
+            }
+            None => {
+                let deadline = batcher.next_deadline().expect("entry pending");
+                if deadline > 0 {
+                    prop_assert_eq!(batcher.poll(deadline - 1), None);
+                }
+                prop_assert_eq!(batcher.poll(deadline), Some(vec![1u8]));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Threaded scheduler: under a random configuration (pool size,
+    /// thresholds, overload policy) with a shutdown racing the submissions,
+    /// every submission resolves to exactly one of {admitted, shed,
+    /// refused-at-shutdown}, and every *admitted* query receives exactly one
+    /// reply carrying its own query back — no reply lost to the shutdown,
+    /// none duplicated, and each client sees its replies in submission
+    /// order.
+    #[test]
+    fn exactly_one_reply_per_admitted_query_under_shutdown_and_overload(
+        workers in 1usize..4,
+        max_batch in 1usize..7,
+        window_micros in 0u64..1_500,
+        queue_capacity in 1usize..12,
+        shed in any::<bool>(),
+        shutdown_after_micros in 0u64..2_000,
+    ) {
+        const CLIENTS: usize = 4;
+        const PER_CLIENT: usize = 8;
+        let config = ServeConfig {
+            window: Duration::from_micros(window_micros),
+            max_batch,
+            workers,
+            queue_capacity,
+            overload: if shed { OverloadPolicy::Shed } else { OverloadPolicy::Block },
+        };
+        let registry = tiny_registry();
+        let expected: Vec<Vec<_>> = (0..CLIENTS)
+            .map(|c| {
+                (0..PER_CLIENT)
+                    .map(|i| {
+                        let query = client_query(c, i);
+                        let handle = registry.get("tiny").unwrap();
+                        (query, handle.run(&query).unwrap().answer)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let server = Arc::new(MaxRsServer::start(registry, config).unwrap());
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let admitted_total = Arc::new(AtomicU64::new(0));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                let admitted_total = Arc::clone(&admitted_total);
+                let workload = expected[c].clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut tickets = Vec::new();
+                    for (query, answer) in workload {
+                        match server.submit("tiny", query) {
+                            Ok(ticket) => tickets.push((ticket, query, answer)),
+                            Err(ServeError::Overloaded | ServeError::ShuttingDown) => {}
+                            Err(other) => panic!("unexpected submit error: {other}"),
+                        }
+                    }
+                    admitted_total.fetch_add(tickets.len() as u64, Ordering::Relaxed);
+                    for (ticket, query, answer) in tickets {
+                        // Exactly one reply: `wait` consumes the one-shot
+                        // channel, and it must carry this client's query.
+                        let response = ticket.wait().expect("admitted query must be answered");
+                        assert_eq!(response.query, query, "reply cross-wired");
+                        assert_eq!(response.run.answer, answer, "answer diverged");
+                    }
+                })
+            })
+            .collect();
+
+        // Race a shutdown against the submissions.
+        barrier.wait();
+        std::thread::sleep(Duration::from_micros(shutdown_after_micros));
+        server.shutdown();
+        for client in clients {
+            client.join().unwrap();
+        }
+
+        let stats = server.stats();
+        let attempts = (CLIENTS * PER_CLIENT) as u64;
+        let admitted = admitted_total.load(Ordering::Relaxed);
+        prop_assert_eq!(stats.submitted, admitted, "admission counter drifted");
+        prop_assert_eq!(
+            stats.completed, admitted,
+            "every admitted query must be answered, even across shutdown"
+        );
+        prop_assert_eq!(
+            stats.batched_queries, admitted,
+            "every admitted query rides exactly one flushed batch"
+        );
+        if shed {
+            prop_assert!(
+                admitted + stats.shed <= attempts,
+                "shed + admitted cannot exceed attempts"
+            );
+        } else {
+            prop_assert_eq!(stats.shed, 0, "block policy never sheds");
+        }
+    }
+}

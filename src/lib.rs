@@ -14,6 +14,9 @@
 //!   deletes and window expiry.
 //! * [`datagen`] — the synthetic and real-surrogate dataset generators used by
 //!   the experiments, including reproducible event streams.
+//! * [`serve`] — the concurrent serving layer: [`DatasetRegistry`] caching
+//!   prepared datasets under a memory budget, and [`MaxRsServer`] micro-
+//!   batching concurrent clients' queries into shared sweep passes.
 //! * [`baselines`] — the externalized plane-sweep baselines (Naïve and
 //!   aSB-tree) the paper compares against.
 //!
@@ -55,6 +58,7 @@ pub use maxrs_core as core;
 pub use maxrs_datagen as datagen;
 pub use maxrs_em as em;
 pub use maxrs_geometry as geometry;
+pub use maxrs_serve as serve;
 pub use maxrs_stream as stream;
 
 pub use maxrs_core::{
@@ -66,4 +70,5 @@ pub use maxrs_core::{
 };
 pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
+pub use maxrs_serve::{DatasetRegistry, MaxRsServer, OverloadPolicy, ServeConfig, ServeError};
 pub use maxrs_stream::{Event, StreamConfig, StreamEngine};
