@@ -20,6 +20,7 @@ use std::time::Instant;
 use maxrs_bench::config::{
     ExperimentScale, PAPER_BUFFER_SYNTHETIC, PAPER_CARDINALITY, PAPER_RANGE,
 };
+use maxrs_bench::delta_run::{run_delta, DeltaRun};
 use maxrs_bench::figures::{
     fig12_cardinality, fig13_buffer, fig14_range, fig15_buffer_real, fig16_range_real,
     fig17_quality, FigureOptions,
@@ -79,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "usage: experiments \
-     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve> \
+     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve|delta> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
 }
 
@@ -218,6 +219,63 @@ fn serve_runs(opts: &FigureOptions) -> Vec<ServeRun> {
         .expect("serve baseline measurement failed");
     assert!(baseline.verified, "pass-through answers diverged");
     vec![run, baseline]
+}
+
+/// The delta-main workload: replay insert/delete event streams into a
+/// [`DeltaDataset`](maxrs_core::DeltaDataset), measuring query latency as
+/// the pending delta grows, then the compaction's cost against its `2·N/B`
+/// sequential-merge floor — once with moderate and once with heavy delete
+/// churn (the tombstone-dominated regime).  Every measured answer is
+/// verified bit-identical to a from-scratch prepare over the survivors.
+fn delta_runs(opts: &FigureOptions) -> Vec<DeltaRun> {
+    let events = opts.scale.cardinality(800_000).max(2_000);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let query = Query::max_rs(RectSize::square(10_000.0));
+    [0.15, 0.4]
+        .iter()
+        .map(|&delete_fraction| {
+            let cfg = EventStreamConfig {
+                events,
+                delete_fraction,
+                ..Default::default()
+            };
+            let run = run_delta(&cfg, opts.seed, config, &query, 8).expect("delta replay failed");
+            assert!(run.verified, "delta answers diverged from prepare");
+            run
+        })
+        .collect()
+}
+
+fn print_delta_rows(rows: &[DeltaRun]) {
+    for row in rows {
+        let curve: Vec<String> = row
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}@{:.1?}",
+                    s.delta_len,
+                    std::time::Duration::from_nanos(s.query_ns as u64)
+                )
+            })
+            .collect();
+        println!(
+            "  backend={:<4} events={} survivors={} ingest={:.0} ev/s \
+             delta_max={} compact={:.1?}/{} (floor {} blk) warm={:.1?}/{} \
+             curve=[{}]",
+            row.backend,
+            row.events,
+            row.survivors,
+            row.events_per_sec,
+            row.delta_len_max,
+            std::time::Duration::from_nanos(row.compact_ns as u64),
+            row.compact_io,
+            row.merge_floor_blocks,
+            std::time::Duration::from_nanos(row.compacted_query_ns as u64),
+            row.compacted_query_io,
+            curve.join(", "),
+        );
+    }
 }
 
 fn print_serve_rows(rows: &[ServeRun]) {
@@ -393,6 +451,14 @@ fn main() -> ExitCode {
         print_serve_rows(&serve_rows);
         println!("[serve took {:.1?}]", t.elapsed());
     }
+    let mut delta_rows: Vec<DeltaRun> = Vec::new();
+    if matches!(command, "delta" | "all") {
+        let t = Instant::now();
+        delta_rows = delta_runs(&opts);
+        println!("\ndelta (delta-main queries + compaction vs. merge floor, verified):");
+        print_delta_rows(&delta_rows);
+        println!("[delta took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
         "all"
@@ -408,15 +474,17 @@ fn main() -> ExitCode {
             | "batch"
             | "stream"
             | "serve"
+            | "delta"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
     }
 
-    // Fixed-scale regression artifacts: every `batch` / `serve` (or `all`)
-    // invocation rewrites BENCH_batch.json / BENCH_serve.json at smoke scale
-    // with a fixed seed, so consecutive runs produce comparable rows no
-    // matter what --scale / --seed the interactive sweep above used.
+    // Fixed-scale regression artifacts: every `batch` / `serve` / `delta`
+    // (or `all`) invocation rewrites BENCH_batch.json / BENCH_serve.json /
+    // BENCH_delta.json at smoke scale with a fixed seed, so consecutive runs
+    // produce comparable rows no matter what --scale / --seed the
+    // interactive sweep above used.
     if matches!(command, "batch" | "all") {
         let smoke = FigureOptions {
             scale: ExperimentScale::smoke(),
@@ -450,6 +518,23 @@ fn main() -> ExitCode {
         }
     }
 
+    if matches!(command, "delta" | "all") {
+        let smoke = FigureOptions {
+            scale: ExperimentScale::smoke(),
+            seed: 42,
+            algorithms: opts.algorithms,
+        };
+        let rows: Vec<Value> = delta_runs(&smoke).iter().map(DeltaRun::to_value).collect();
+        let path = "BENCH_delta.json";
+        match fs::write(path, Value::Array(rows).to_pretty_string()) {
+            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(path) = args.json_path {
         let values: Vec<Value> = reports
             .iter()
@@ -458,6 +543,7 @@ fn main() -> ExitCode {
             .chain(batch_rows.iter().map(BatchRun::to_value))
             .chain(stream_rows.iter().map(StreamRun::to_value))
             .chain(serve_rows.iter().map(ServeRun::to_value))
+            .chain(delta_rows.iter().map(DeltaRun::to_value))
             .collect();
         let count = values.len();
         let json = Value::Array(values).to_pretty_string();

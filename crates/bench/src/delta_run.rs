@@ -1,0 +1,235 @@
+//! Delta-main measurements: replaying generated event streams into a
+//! [`DeltaDataset`] — query latency as the pending delta grows, the cost of
+//! one compaction against its `2·N/B` sequential-merge floor, and the warm
+//! post-compaction query — the measurements behind the `delta` command of
+//! the experiment harness.
+
+use std::time::Instant;
+
+use maxrs_core::{
+    DeltaDataset, DeltaOptions, EngineOptions, ExactMaxRsOptions, MaxRsEngine, ObjectRecord, Query,
+};
+use maxrs_datagen::{event_stream, EventStreamConfig};
+use maxrs_em::{EmConfig, IoSnapshot, Record};
+
+use crate::json::Value;
+
+/// One per-checkpoint sample: the same query answered with `delta_len`
+/// records pending against the base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaSample {
+    /// Pending delta records (inserts + tombstones) when the query ran.
+    pub delta_len: u64,
+    /// Records in the compacted base run at that point.
+    pub base_len: u64,
+    /// Wall-clock of the query, in nanoseconds.
+    pub query_ns: u128,
+    /// Blocks transferred by the query (merge of base + delta included).
+    pub query_io: u64,
+}
+
+/// Outcome of one delta replay: ingest rate, the latency-vs-delta-size
+/// curve, and the compaction's cost relative to its sequential-merge floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRun {
+    /// Storage-backend name of the context ("sim", "fs").
+    pub backend: String,
+    /// Short name of the measured query variant.
+    pub query: String,
+    /// Events replayed.
+    pub events: usize,
+    /// Objects alive after the replay.
+    pub survivors: u64,
+    /// Largest pending delta observed at a checkpoint.
+    pub delta_len_max: u64,
+    /// Total wall-clock spent applying events, in nanoseconds.
+    pub apply_ns: u128,
+    /// Ingest throughput (events per second of apply time).
+    pub events_per_sec: f64,
+    /// The latency-vs-delta-size curve, one sample per checkpoint.
+    pub samples: Vec<DeltaSample>,
+    /// Wall-clock of the final compaction, in nanoseconds.
+    pub compact_ns: u128,
+    /// Blocks transferred by the final compaction.
+    pub compact_io: IoSnapshot,
+    /// The compaction's sequential-merge floor in blocks: one read of the
+    /// old base plus one write of the new run (`2·N/B` shape).
+    pub merge_floor_blocks: u64,
+    /// Wall-clock / blocks of the same query once the delta is drained.
+    pub compacted_query_ns: u128,
+    /// Blocks transferred by the post-compaction query.
+    pub compacted_query_io: u64,
+    /// `true` when every measured answer was bit-identical to a from-scratch
+    /// [`MaxRsEngine::prepare`] over the survivors, before and after
+    /// compaction.
+    pub verified: bool,
+}
+
+impl DeltaRun {
+    /// Serializes the replay for the experiment harness's JSON output.
+    pub fn to_value(&self) -> Value {
+        let samples: Vec<Value> = self
+            .samples
+            .iter()
+            .map(|s| {
+                Value::object(vec![
+                    ("delta_len", Value::Number(s.delta_len as f64)),
+                    ("base_len", Value::Number(s.base_len as f64)),
+                    ("query_ns", Value::Number(s.query_ns as f64)),
+                    ("query_io", Value::Number(s.query_io as f64)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("id", Value::String("delta".into())),
+            ("backend", Value::String(self.backend.clone())),
+            ("query", Value::String(self.query.clone())),
+            ("events", Value::Number(self.events as f64)),
+            ("survivors", Value::Number(self.survivors as f64)),
+            ("delta_len_max", Value::Number(self.delta_len_max as f64)),
+            ("apply_ns", Value::Number(self.apply_ns as f64)),
+            ("events_per_sec", Value::Number(self.events_per_sec)),
+            ("samples", Value::Array(samples)),
+            ("compact_ns", Value::Number(self.compact_ns as f64)),
+            ("compact_io", Value::Number(self.compact_io.total() as f64)),
+            (
+                "merge_floor_blocks",
+                Value::Number(self.merge_floor_blocks as f64),
+            ),
+            (
+                "compacted_query_ns",
+                Value::Number(self.compacted_query_ns as f64),
+            ),
+            (
+                "compacted_query_io",
+                Value::Number(self.compacted_query_io as f64),
+            ),
+            ("verified", Value::Bool(self.verified)),
+        ])
+    }
+}
+
+fn object_blocks(config: EmConfig, n: u64) -> u64 {
+    n.div_ceil((config.block_size / ObjectRecord::SIZE) as u64)
+}
+
+/// Replays the event stream of (`stream_cfg`, `seed`) into a fresh
+/// [`DeltaDataset`] under `config`, compacting once mid-stream so the later
+/// checkpoints measure queries merging a real delta against a real base,
+/// then measures the final compaction against its `2·N/B` merge floor and
+/// verifies every answer against a from-scratch prepare.
+pub fn run_delta(
+    stream_cfg: &EventStreamConfig,
+    seed: u64,
+    config: EmConfig,
+    query: &Query,
+    checkpoints: usize,
+) -> maxrs_core::Result<DeltaRun> {
+    let events = event_stream(stream_cfg, seed);
+    let engine = MaxRsEngine::with_options(EngineOptions {
+        em_config: config,
+        exact: ExactMaxRsOptions::default(),
+        force_strategy: None,
+    });
+    let mut delta = DeltaDataset::new(&engine, DeltaOptions::default())?;
+    let checkpoints = checkpoints.max(2);
+    let chunk = events.len().div_ceil(checkpoints);
+
+    let mut apply_ns = 0u128;
+    let mut samples = Vec::with_capacity(checkpoints);
+    let mut verified = true;
+    for (i, batch) in events.chunks(chunk).enumerate() {
+        let t = Instant::now();
+        delta.apply(batch)?;
+        apply_ns += t.elapsed().as_nanos();
+
+        // Compact once a third of the way in: every later checkpoint then
+        // exercises the interesting regime — a non-trivial base run with a
+        // growing delta merged into the sweep on the fly.
+        if i + 1 == checkpoints.div_ceil(3) {
+            delta.compact()?;
+        }
+
+        let t = Instant::now();
+        let run = delta.run(query)?;
+        samples.push(DeltaSample {
+            delta_len: delta.delta_len(),
+            base_len: delta.base_len(),
+            query_ns: t.elapsed().as_nanos(),
+            query_io: run.io.total(),
+        });
+        verified &= run.answer == engine.prepare(&delta.survivors())?.run(query)?.answer;
+    }
+
+    let base_before = delta.base_len();
+    let t = Instant::now();
+    let report = delta.compact()?;
+    let compact_ns = t.elapsed().as_nanos();
+    let merge_floor_blocks =
+        object_blocks(config, base_before) + object_blocks(config, report.base_after);
+
+    let t = Instant::now();
+    let compacted = delta.run(query)?;
+    let compacted_query_ns = t.elapsed().as_nanos();
+    verified &= compacted.answer == engine.prepare(&delta.survivors())?.run(query)?.answer;
+
+    Ok(DeltaRun {
+        backend: delta.context().backend_name().to_string(),
+        query: query.name().to_string(),
+        events: events.len(),
+        survivors: delta.len(),
+        delta_len_max: samples.iter().map(|s| s.delta_len).max().unwrap_or(0),
+        apply_ns,
+        events_per_sec: if apply_ns > 0 {
+            events.len() as f64 / (apply_ns as f64 / 1e9)
+        } else {
+            f64::INFINITY
+        },
+        samples,
+        compact_ns,
+        compact_io: report.io,
+        merge_floor_blocks,
+        compacted_query_ns,
+        compacted_query_io: compacted.io.total(),
+        verified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxrs_geometry::RectSize;
+
+    #[test]
+    fn replay_is_verified_and_meters_the_merge_floor() {
+        let cfg = EventStreamConfig {
+            events: 1_200,
+            delete_fraction: 0.3,
+            ..Default::default()
+        };
+        let config = EmConfig::new(512, 32 * 512).unwrap();
+        let query = Query::max_rs(RectSize::square(0.05 * cfg.extent));
+        let run = run_delta(&cfg, 9, config, &query, 6).unwrap();
+        assert!(run.verified, "delta answers diverged from prepare");
+        assert_eq!(run.events, 1_200);
+        assert_eq!(run.samples.len(), 6);
+        assert!(run.delta_len_max > 0, "the delta never held records");
+        assert!(run.survivors > 0);
+        assert!(
+            run.compact_io.total() <= 2 * run.merge_floor_blocks + 8,
+            "compaction I/O {} exceeds 2×floor {}",
+            run.compact_io,
+            run.merge_floor_blocks
+        );
+
+        let json = run.to_value();
+        assert_eq!(json.get("id").unwrap().as_str(), Some("delta"));
+        assert_eq!(json.get("query").unwrap().as_str(), Some("max-rs"));
+        assert_eq!(json.get("verified").unwrap(), &Value::Bool(true));
+        let samples = match json.get("samples").unwrap() {
+            Value::Array(s) => s,
+            other => panic!("samples must be an array, got {other:?}"),
+        };
+        assert_eq!(samples.len(), run.samples.len());
+    }
+}

@@ -21,15 +21,20 @@
 //! workspace's extensions: `prepared` (sort-once repeated querying, see
 //! [`runner::run_prepared_reuse`]), `stream` (incremental MaxRS over
 //! event streams, see [`stream_run::run_stream`] — ingest events/sec,
-//! incremental answer latency and the speedup over full recomputes) and
+//! incremental answer latency and the speedup over full recomputes),
 //! `serve` (closed-loop load generation against the concurrent serving
 //! layer, see [`serve_run::run_serve`] — queries/sec, latency percentiles
-//! and the micro-batch size histogram, every response verified).
+//! and the micro-batch size histogram, every response verified) and
+//! `delta` (event replay into a delta-main [`maxrs_core::DeltaDataset`],
+//! see [`delta_run::run_delta`] — query latency as the pending delta grows
+//! and compaction cost against its `2·N/B` sequential-merge floor, every
+//! answer verified against a from-scratch prepare).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod delta_run;
 pub mod figures;
 pub mod json;
 pub mod report;
@@ -39,6 +44,7 @@ pub mod stream_run;
 pub mod tables;
 
 pub use config::{ExperimentScale, PAPER_BLOCK_SIZE};
+pub use delta_run::{run_delta, DeltaRun};
 pub use report::{FigureReport, Series, SeriesPoint};
 pub use runner::{run_algorithm, AlgorithmRun};
 pub use serve_run::{run_serve, ServeRun};

@@ -2,6 +2,8 @@
 
 use maxrs_em::EmError;
 
+use crate::events::EventError;
+
 /// Errors raised by the [`MaxRsEngine`](crate::MaxRsEngine) facade itself —
 /// strategy selection and option validation, as opposed to failures inside an
 /// algorithm.
@@ -48,6 +50,9 @@ pub enum CoreError {
     InvalidParameter(String),
     /// The engine facade refused the run (see [`EngineError`]).
     Engine(EngineError),
+    /// An event of a dynamic dataset was invalid (see
+    /// [`EventError`](crate::EventError)).
+    Event(EventError),
     /// An internal invariant was violated (indicates a bug, reported instead
     /// of panicking so that long experiment sweeps fail gracefully).
     Internal(String),
@@ -59,6 +64,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Em(e) => write!(f, "external-memory error: {e}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::Event(e) => write!(f, "event error: {e}"),
             CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -69,6 +75,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Em(e) => Some(e),
             CoreError::Engine(e) => Some(e),
+            CoreError::Event(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +90,12 @@ impl From<EmError> for CoreError {
 impl From<EngineError> for CoreError {
     fn from(e: EngineError) -> Self {
         CoreError::Engine(e)
+    }
+}
+
+impl From<EventError> for CoreError {
+    fn from(e: EventError) -> Self {
+        CoreError::Event(e)
     }
 }
 
@@ -107,6 +120,15 @@ mod tests {
         use std::error::Error;
         assert!(e.source().is_some());
         assert!(CoreError::Internal("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn event_error_wraps_and_displays() {
+        let e: CoreError = EventError::DuplicateId(9).into();
+        assert!(matches!(e, CoreError::Event(_)));
+        assert!(e.to_string().contains("id 9"), "{e}");
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -95,8 +95,10 @@
 pub mod approx;
 pub mod batch;
 pub mod crs_exact;
+pub mod delta;
 pub mod engine;
 mod error;
+pub mod events;
 pub mod exact;
 pub mod extensions;
 pub mod grid;
@@ -119,8 +121,12 @@ pub use approx::{
 };
 pub use batch::QueryBatch;
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
+pub use delta::{CompactionPolicy, CompactionReport, DeltaDataset, DeltaOptions};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, EngineError, Result};
+pub use events::{
+    validate_object, Event, EventError, EventOutcome, EventReport, LiveRecord, LiveSet,
+};
 pub use exact::{
     exact_max_rs, exact_max_rs_from_objects, load_objects, sort_objects_by_x, ExactMaxRsOptions,
 };

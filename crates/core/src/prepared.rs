@@ -196,6 +196,43 @@ impl MaxRsEngine {
     }
 }
 
+impl PreparedDataset<'static> {
+    /// Builds a prepared dataset from an in-memory object vector — the
+    /// snapshot path of [`DeltaDataset`](crate::DeltaDataset) for nets under
+    /// the memory budget.  Callers are responsible for the capacity guard.
+    pub(crate) fn from_memory(opts: EngineOptions, objects: Vec<WeightedPoint>) -> Self {
+        let len = objects.len() as u64;
+        PreparedDataset {
+            opts,
+            source: Source::Memory(objects),
+            len,
+            prepare_io: IoSnapshot::default(),
+        }
+    }
+
+    /// Builds a prepared dataset around an **already x-sorted** object file
+    /// in a context it takes ownership of — the sort-free snapshot path of
+    /// [`DeltaDataset`](crate::DeltaDataset): the delta merge preserves
+    /// x-order, so no new sort is ever paid.
+    pub(crate) fn from_sorted_owned(
+        opts: EngineOptions,
+        ctx: Box<EmContext>,
+        sorted: TupleFile<ObjectRecord>,
+        prepare_io: IoSnapshot,
+    ) -> Self {
+        let len = sorted.len();
+        PreparedDataset {
+            opts,
+            len,
+            source: Source::External {
+                ctx: CtxHandle::Owned(ctx),
+                sorted: Some(sorted),
+            },
+            prepare_io,
+        }
+    }
+}
+
 impl PreparedDataset<'_> {
     /// Number of objects in the prepared dataset.
     pub fn len(&self) -> u64 {

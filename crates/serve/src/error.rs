@@ -17,6 +17,11 @@ pub enum ServeError {
     /// No dataset with this id is currently registered (never registered, or
     /// evicted by the registry's LRU policy).
     UnknownDataset(String),
+    /// An update was routed to a dataset registered as static — only
+    /// datasets registered with
+    /// [`DatasetRegistry::insert_dynamic`](crate::DatasetRegistry::insert_dynamic)
+    /// carry a delta and accept [`apply`](crate::DatasetRegistry::apply).
+    StaticDataset(String),
     /// The query (or the server/registry configuration) was rejected before
     /// admission — typically a [`CoreError::InvalidParameter`] from
     /// [`Query::validate`](maxrs_core::Query::validate), or a preparation
@@ -40,6 +45,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server shutting down: submission refused"),
             ServeError::UnknownDataset(id) => write!(f, "unknown dataset id: {id:?}"),
+            ServeError::StaticDataset(id) => write!(
+                f,
+                "dataset {id:?} is static: register it with insert_dynamic to apply events"
+            ),
             ServeError::Core(e) => write!(f, "core error: {e}"),
             ServeError::Execution(msg) => write!(f, "batch execution failed: {msg}"),
             ServeError::ChannelClosed => {
@@ -80,6 +89,9 @@ mod tests {
         assert!(ServeError::UnknownDataset("ds".into())
             .to_string()
             .contains("ds"));
+        assert!(ServeError::StaticDataset("ds".into())
+            .to_string()
+            .contains("insert_dynamic"));
         let e: ServeError = CoreError::InvalidParameter("bad width".into()).into();
         assert!(e.to_string().contains("bad width"));
         use std::error::Error;

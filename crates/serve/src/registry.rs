@@ -14,15 +14,26 @@
 //! last handle drops — eviction only stops *new* lookups from finding it.
 //! The RAII drop of [`PreparedDataset`] then deletes the retained blocks, so
 //! a registry churning through datasets never leaks disk space.
+//!
+//! # Dynamic datasets
+//!
+//! An entry registered with [`DatasetRegistry::insert_dynamic`] additionally
+//! carries a live [`DeltaDataset`]: [`DatasetRegistry::apply`] routes a batch
+//! of [`Event`]s into its delta, takes a fresh immutable snapshot and swaps
+//! it in as the entry's served dataset.  Readers are never torn: queries in
+//! flight keep their pre-update snapshot handle, queries admitted after the
+//! swap see the post-update snapshot, and nothing in between exists.  The
+//! delta's own compaction (policy-driven or explicit) happens behind the same
+//! per-dataset lock, invisible to readers for the same reason.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use maxrs_core::{MaxRsEngine, PreparedDataset};
+use maxrs_core::{DeltaDataset, DeltaOptions, Event, MaxRsEngine, PreparedDataset};
 use maxrs_geometry::WeightedPoint;
 use parking_lot::Mutex;
 
-use crate::error::Result;
+use crate::error::{Result, ServeError};
 
 /// A ref-counted handle to a cached dataset.  Cloning is cheap; the dataset
 /// (and its retained sorted file) lives until the last handle drops.
@@ -30,6 +41,9 @@ pub type DatasetHandle = Arc<PreparedDataset<'static>>;
 
 struct Entry {
     data: DatasetHandle,
+    /// The live delta-main dataset behind a dynamic entry; `None` for static
+    /// datasets registered with [`DatasetRegistry::insert`].
+    dynamic: Option<Arc<Mutex<DeltaDataset>>>,
     bytes: u64,
     last_used: u64,
 }
@@ -115,6 +129,99 @@ impl DatasetRegistry {
     /// other datasets never stall behind a slow external sort.
     pub fn insert(&self, id: &str, objects: &[WeightedPoint]) -> Result<DatasetHandle> {
         let prepared: DatasetHandle = Arc::new(self.engine.prepare(objects)?);
+        self.install(id, prepared, None)
+    }
+
+    /// Registers a **dynamic** dataset under `id`: a [`DeltaDataset`] seeded
+    /// by replaying `events`, whose current snapshot is cached and served
+    /// exactly like a static dataset.  Later [`apply`](DatasetRegistry::apply)
+    /// calls route further events into the delta and swap in fresh snapshots.
+    /// Replaces any dataset (static or dynamic) already cached under the id.
+    pub fn insert_dynamic(
+        &self,
+        id: &str,
+        events: &[Event],
+        options: DeltaOptions,
+    ) -> Result<DatasetHandle> {
+        let mut delta = DeltaDataset::new(&self.engine, options)?;
+        delta.apply(events)?;
+        let prepared: DatasetHandle = Arc::new(delta.snapshot()?);
+        self.install(id, prepared, Some(Arc::new(Mutex::new(delta))))
+    }
+
+    /// Applies a batch of events to the dynamic dataset under `id` and swaps
+    /// a fresh snapshot in as the served dataset, returning a handle to it.
+    ///
+    /// The delta update, any policy-triggered compaction and the snapshot all
+    /// run under a **per-dataset** lock, outside the registry lock: lookups
+    /// and queries against other datasets never stall, and queries against
+    /// this one keep answering from the pre-update snapshot until the swap.
+    /// Every concurrent reader therefore sees exactly one of the two legal
+    /// snapshots — pre-batch or post-batch — never a torn intermediate.
+    ///
+    /// Errors with [`ServeError::UnknownDataset`] for unregistered/evicted
+    /// ids and [`ServeError::StaticDataset`] for datasets registered with
+    /// [`insert`](DatasetRegistry::insert).
+    pub fn apply(&self, id: &str, events: &[Event]) -> Result<DatasetHandle> {
+        let dynamic = {
+            let inner = self.inner.lock();
+            let entry = inner
+                .entries
+                .get(id)
+                .ok_or_else(|| ServeError::UnknownDataset(id.to_string()))?;
+            entry
+                .dynamic
+                .clone()
+                .ok_or_else(|| ServeError::StaticDataset(id.to_string()))?
+        };
+        let prepared: DatasetHandle = {
+            let mut delta = dynamic.lock();
+            delta.apply(events)?;
+            Arc::new(delta.snapshot()?)
+        };
+        let bytes = prepared.resident_bytes();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(id) {
+            Some(entry)
+                if entry
+                    .dynamic
+                    .as_ref()
+                    .is_some_and(|d| Arc::ptr_eq(d, &dynamic)) =>
+            {
+                inner.resident = inner.resident - entry.bytes + bytes;
+                entry.bytes = bytes;
+                entry.data = Arc::clone(&prepared);
+                entry.last_used = tick;
+            }
+            // The entry was evicted or replaced while the update ran: the
+            // events are safely in the delta we hold, but the cache has moved
+            // on — don't resurrect the entry behind its replacement's back.
+            _ => {}
+        }
+        self.evict_over_budget(inner);
+        Ok(prepared)
+    }
+
+    /// `true` when `id` is cached and carries an update path.
+    pub fn is_dynamic(&self, id: &str) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .get(id)
+            .is_some_and(|e| e.dynamic.is_some())
+    }
+
+    /// Caches `prepared` under `id`, replacing and re-accounting any previous
+    /// entry and evicting over budget.
+    fn install(
+        &self,
+        id: &str,
+        prepared: DatasetHandle,
+        dynamic: Option<Arc<Mutex<DeltaDataset>>>,
+    ) -> Result<DatasetHandle> {
         let bytes = prepared.resident_bytes();
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -123,6 +230,7 @@ impl DatasetRegistry {
             id.to_string(),
             Entry {
                 data: Arc::clone(&prepared),
+                dynamic,
                 bytes,
                 last_used,
             },
@@ -304,6 +412,74 @@ mod tests {
         registry.insert("huge2", &objects(600, 10)).unwrap();
         assert!(!registry.contains("huge"));
         assert!(registry.contains("huge2"));
+    }
+
+    #[test]
+    fn dynamic_datasets_apply_events_and_swap_snapshots() {
+        use maxrs_core::{CompactionPolicy, Event};
+
+        let registry = DatasetRegistry::new(external_engine());
+        let seed: Vec<Event> = objects(600, 21)
+            .iter()
+            .enumerate()
+            .map(|(i, o)| Event::insert(i as u64, o.point.x, o.point.y, o.weight, i as f64))
+            .collect();
+        let options = maxrs_core::DeltaOptions {
+            policy: CompactionPolicy::DeltaThreshold { max_delta: 200 },
+            window: None,
+        };
+        let before = registry.insert_dynamic("live", &seed, options).unwrap();
+        assert!(registry.is_dynamic("live"));
+        assert!(!registry.is_dynamic("missing"));
+
+        // Updates swap the served snapshot; the old handle keeps answering.
+        let events: Vec<Event> = (0..100)
+            .map(|i| Event::delete(i as u64, 1000.0 + i as f64))
+            .collect();
+        let after = registry.apply("live", &events).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.len(), before.len() - 100);
+        let current = registry.get("live").unwrap();
+        assert!(Arc::ptr_eq(&current, &after));
+        let query = Query::max_rs(RectSize::square(150.0));
+        assert!(before.run(&query).is_ok());
+        assert_eq!(
+            after.run(&query).unwrap().answer,
+            current.run(&query).unwrap().answer
+        );
+
+        // Static entries refuse updates; unknown ids fail lookup.
+        registry.insert("static", &objects(50, 5)).unwrap();
+        assert!(!registry.is_dynamic("static"));
+        assert!(matches!(
+            registry.apply("static", &events),
+            Err(crate::ServeError::StaticDataset(id)) if id == "static"
+        ));
+        assert!(matches!(
+            registry.apply("nope", &events),
+            Err(crate::ServeError::UnknownDataset(id)) if id == "nope"
+        ));
+    }
+
+    #[test]
+    fn applying_after_eviction_still_returns_a_valid_handle() {
+        use maxrs_core::{DeltaOptions, Event};
+
+        let registry = DatasetRegistry::new(external_engine());
+        let seed: Vec<Event> = (0..50)
+            .map(|i| Event::insert(i, i as f64, i as f64, 1.0, i as f64))
+            .collect();
+        registry
+            .insert_dynamic("live", &seed, DeltaOptions::default())
+            .unwrap();
+        let dynamic_handle = registry.get("live").unwrap();
+        assert!(registry.evict("live"));
+        drop(dynamic_handle);
+        // The id is gone; apply reports it rather than resurrecting it.
+        assert!(matches!(
+            registry.apply("live", &[Event::delete(0, 100.0)]),
+            Err(crate::ServeError::UnknownDataset(_))
+        ));
     }
 
     #[test]

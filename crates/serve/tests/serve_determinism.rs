@@ -219,6 +219,125 @@ fn concurrent_answers_are_bit_identical_on_zero_weight_data() {
 }
 
 #[test]
+fn concurrent_updates_serve_exactly_one_of_the_legal_snapshots() {
+    use maxrs_core::{CompactionPolicy, DeltaDataset, DeltaOptions, Event};
+
+    // Clients race a writer that streams update batches (with background
+    // policy-triggered compaction) into the same dataset id.  The update path
+    // swaps immutable snapshots, so the only legal replies for a query are
+    // its answers on the snapshot sequence S0 (seed), S1, … Sk (after batch
+    // k) — computed here by an independent sequential replay.  Every reply
+    // must match one of them bit for bit; none may be lost or torn.
+    let backend = StorageBackend::Sim;
+    let options = DeltaOptions {
+        policy: CompactionPolicy::DeltaThreshold { max_delta: 150 },
+        window: None,
+    };
+    let seed_events: Vec<Event> = pseudo_random_objects(1500, 23, 1000.0)
+        .iter()
+        .enumerate()
+        .map(|(i, o)| Event::insert(i as u64, o.point.x, o.point.y, o.weight, i as f64))
+        .collect();
+    let batches: Vec<Vec<Event>> = (0..6u64)
+        .map(|b| {
+            let t0 = 10_000.0 + 1000.0 * b as f64;
+            let mut batch: Vec<Event> = (0..60)
+                .map(|i| Event::delete(b * 60 + i, t0 + i as f64))
+                .collect();
+            batch.extend(
+                pseudo_random_objects(60, 100 + b, 1000.0)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| {
+                        let id = 10_000 + b * 60 + i as u64;
+                        Event::insert(id, o.point.x, o.point.y, o.weight, t0 + 100.0 + i as f64)
+                    }),
+            );
+            batch
+        })
+        .collect();
+
+    // The legal answer per query and checkpoint, by sequential replay.
+    let pool = [
+        Query::max_rs(RectSize::square(120.0)),
+        Query::top_k(RectSize::square(120.0), 2),
+        Query::min_rs(
+            RectSize::square(120.0),
+            Rect::new(100.0, 900.0, 100.0, 900.0),
+        ),
+    ];
+    let engine = external_engine(backend);
+    let mut replay = DeltaDataset::new(&engine, options).unwrap();
+    replay.apply(&seed_events).unwrap();
+    let mut legal: Vec<Vec<QueryAnswer>> =
+        vec![pool.iter().map(|q| replay.run(q).unwrap().answer).collect()];
+    for batch in &batches {
+        replay.apply(batch).unwrap();
+        legal.push(pool.iter().map(|q| replay.run(q).unwrap().answer).collect());
+    }
+    // The scenario genuinely exercises background compaction: the registry's
+    // delta follows the identical deterministic policy as this replay.
+    assert!(replay.compactions() >= 1, "threshold never fired");
+
+    let registry = Arc::new(DatasetRegistry::new(external_engine(backend)));
+    registry
+        .insert_dynamic("live", &seed_events, options)
+        .unwrap();
+    let server = Arc::new(MaxRsServer::start(Arc::clone(&registry), serve_config()).unwrap());
+
+    let writer = {
+        let registry = Arc::clone(&registry);
+        let batches = batches.clone();
+        std::thread::spawn(move || {
+            for batch in &batches {
+                registry.apply("live", batch).unwrap();
+            }
+        })
+    };
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let legal = legal.clone();
+            let pool = pool.to_vec();
+            std::thread::spawn(move || {
+                for j in 0..QUERIES_PER_CLIENT {
+                    let qi = (client + j) % pool.len();
+                    let response = server.submit("live", pool[qi]).unwrap().wait().unwrap();
+                    let matched = legal
+                        .iter()
+                        .filter(|c| c[qi] == response.run.answer)
+                        .count();
+                    assert!(
+                        matched > 0,
+                        "client {client}: {} reply matches no legal snapshot",
+                        pool[qi].name()
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+    writer.join().unwrap();
+
+    // After the writer finishes, the served snapshot is exactly S_final.
+    for (qi, query) in pool.iter().enumerate() {
+        let response = server.submit("live", *query).unwrap().wait().unwrap();
+        assert_eq!(
+            response.run.answer,
+            legal.last().unwrap()[qi],
+            "quiescent reply must come from the final snapshot"
+        );
+    }
+    let stats = server.stats();
+    let total = (CLIENTS * QUERIES_PER_CLIENT + pool.len()) as u64;
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total, "no reply lost under updates");
+    server.shutdown();
+}
+
+#[test]
 fn pass_through_server_matches_sequential_too() {
     // max_batch = 1 degenerates to per-query execution through the same
     // scheduler machinery: a cheap cross-check that batching itself is the

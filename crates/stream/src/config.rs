@@ -1,7 +1,7 @@
 //! Configuration of a [`StreamEngine`](crate::StreamEngine).
 
 use maxrs_core::Query;
-use maxrs_geometry::{RectSize, Weight};
+use maxrs_geometry::RectSize;
 
 use crate::error::{Result, StreamError};
 
@@ -105,22 +105,6 @@ impl StreamConfig {
     }
 }
 
-/// Validates one inserted object (finite coordinates, finite non-negative
-/// weight) so no NaN can enter the engine's ordered indexes.
-pub(crate) fn validate_object(x: f64, y: f64, weight: Weight) -> Result<()> {
-    if !(x.is_finite() && y.is_finite()) {
-        return Err(StreamError::InvalidParameter(format!(
-            "object coordinates must be finite, got ({x}, {y})"
-        )));
-    }
-    if !(weight.is_finite() && weight >= 0.0) {
-        return Err(StreamError::InvalidParameter(format!(
-            "object weight must be finite and non-negative, got {weight}"
-        )));
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,14 +167,5 @@ mod tests {
         assert_eq!(cfg.effective_cell_width(), 3.0);
         assert_eq!(cfg.with_cell_width(5.0).effective_cell_width(), 5.0);
         assert_eq!(cfg.size(), RectSize::new(3.0, 7.0));
-    }
-
-    #[test]
-    fn object_validation() {
-        assert!(validate_object(1.0, 2.0, 0.0).is_ok());
-        assert!(validate_object(f64::NAN, 2.0, 1.0).is_err());
-        assert!(validate_object(1.0, f64::INFINITY, 1.0).is_err());
-        assert!(validate_object(1.0, 2.0, -1.0).is_err());
-        assert!(validate_object(1.0, 2.0, f64::NAN).is_err());
     }
 }

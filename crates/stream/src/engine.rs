@@ -39,42 +39,30 @@
 use std::collections::HashMap;
 
 use maxrs_core::{
-    grid_cell, max_rs_in_memory, plane_sweep_slab, ExecutionStrategy, MaxRsResult, Query,
-    QueryAnswer, QueryRun, RectRecord,
+    grid_cell, max_rs_in_memory, plane_sweep_slab, Event, EventOutcome, ExecutionStrategy, LiveSet,
+    MaxRsResult, Query, QueryAnswer, QueryRun, RectRecord,
 };
 use maxrs_em::IoSnapshot;
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
-use crate::cells::{Cell, CellCandidate, FloatKey, FloatMultiset};
-use crate::config::{validate_object, StreamConfig};
+use crate::cells::{Cell, CellCandidate, FloatMultiset};
+use crate::config::StreamConfig;
 use crate::error::{Result, StreamError};
-use crate::event::Event;
 
-/// A live object and the bookkeeping needed to remove it again.
+/// The maintenance-structure bookkeeping of one live object — everything the
+/// engine needs to detach it again.  Liveness itself (ids, the clock, window
+/// expiry) lives in the shared [`LiveSet`], so the stream engine and
+/// `maxrs_core::DeltaDataset` apply events under one canonical semantics.
 #[derive(Debug, Clone, Copy)]
-struct LiveObject {
-    object: WeightedPoint,
+struct Geometry {
+    /// The (normalized) weight, denormalized here so cell re-sweeps need no
+    /// second lookup.
+    weight: f64,
     /// The transformed rectangle (`r_o` for the configured query size).
     rect: Rect,
-    /// Insertion sequence number; [`StreamEngine::survivors`] reports objects
-    /// in this order so batch replays see the same slice a batch caller
-    /// would have built.
-    seq: u64,
-    /// Absolute expiry time under the sliding window (`None` without one).
-    expires_at: Option<f64>,
     /// Grid columns the rectangle overlaps with positive width.
     col_lo: i64,
     col_hi: i64,
-}
-
-/// What one [`StreamEngine::apply`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct EventOutcome {
-    /// `false` only for a delete whose id was not alive (a documented no-op).
-    pub applied: bool,
-    /// Objects expired by the sliding window while advancing to the event's
-    /// timestamp.
-    pub expired: usize,
 }
 
 /// Work accounting of one [`StreamEngine::answer`] call — the evidence that
@@ -136,8 +124,11 @@ pub struct StreamEngine {
     config: StreamConfig,
     size: RectSize,
     cell_width: f64,
-    /// Live objects by id.
-    objects: HashMap<u64, LiveObject>,
+    /// The canonical event semantics (ids, clock, window expiry) shared with
+    /// `maxrs_core::DeltaDataset`.
+    live: LiveSet,
+    /// Per-object maintenance geometry, keyed by id.
+    geometry: HashMap<u64, Geometry>,
     /// Non-empty maintenance cells by column index.
     cells: std::collections::BTreeMap<i64, Cell>,
     /// Columns that are currently dirty — the only cells an answer may need
@@ -152,12 +143,6 @@ pub struct StreamEngine {
     x_edges: FloatMultiset,
     /// Multiset of every live rectangle's sweep event y's.
     y_events: FloatMultiset,
-    /// Pending expirations ordered by expiry time (sliding-window mode only).
-    expiry: std::collections::BTreeMap<(FloatKey, u64), f64>,
-    /// The stream clock: running maximum of all seen timestamps.
-    now: f64,
-    /// Next insertion sequence number.
-    seq: u64,
     /// Live objects with strictly positive weight.
     positive_weight: usize,
     events_since_answer: u64,
@@ -171,16 +156,14 @@ impl StreamEngine {
         Ok(StreamEngine {
             size: config.size(),
             cell_width: config.effective_cell_width(),
+            live: LiveSet::new(config.window).map_err(StreamError::from)?,
             config,
-            objects: HashMap::new(),
+            geometry: HashMap::new(),
             cells: std::collections::BTreeMap::new(),
             dirty_cols: std::collections::BTreeSet::new(),
             clean_best: std::collections::BTreeSet::new(),
             x_edges: FloatMultiset::default(),
             y_events: FloatMultiset::default(),
-            expiry: std::collections::BTreeMap::new(),
-            now: f64::NEG_INFINITY,
-            seq: 0,
             positive_weight: 0,
             events_since_answer: 0,
         })
@@ -193,31 +176,28 @@ impl StreamEngine {
 
     /// Number of live (inserted, not deleted, not expired) objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.live.len()
     }
 
     /// `true` when no object is alive.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live.is_empty()
     }
 
     /// The stream clock (`-∞` before the first event).
     pub fn now(&self) -> f64 {
-        self.now
+        self.live.now()
     }
 
     /// `true` when `id` refers to a live object.
     pub fn contains(&self, id: u64) -> bool {
-        self.objects.contains_key(&id)
+        self.live.contains(id)
     }
 
     /// The live objects in insertion order — exactly the slice a batch
     /// engine would be given to answer the same question.
     pub fn survivors(&self) -> Vec<WeightedPoint> {
-        let mut with_seq: Vec<(u64, WeightedPoint)> =
-            self.objects.values().map(|o| (o.seq, o.object)).collect();
-        with_seq.sort_by_key(|&(seq, _)| seq);
-        with_seq.into_iter().map(|(_, o)| o).collect()
+        self.live.survivors()
     }
 
     /// Applies one event: advances the clock (expiring windowed objects),
@@ -230,31 +210,29 @@ impl StreamEngine {
     /// id that is not alive is a no-op reported through
     /// [`EventOutcome::applied`].
     pub fn apply(&mut self, event: &Event) -> Result<EventOutcome> {
-        let at = event.at();
-        if !at.is_finite() {
-            return Err(StreamError::InvalidParameter(format!(
-                "event timestamp must be finite, got {at}"
-            )));
+        // The shared `LiveSet` owns the canonical semantics: finite-timestamp
+        // check before the clock moves, monotone clock, window expiry,
+        // validation, duplicate-id check, `-0.0` weight normalization (so
+        // candidate sums have one bit pattern per value — the clean-candidate
+        // index orders by raw sum bits).
+        let expired_records = self.live.advance(event.at()).map_err(StreamError::from)?;
+        let expired = expired_records.len();
+        for gone in &expired_records {
+            self.detach(gone.id);
         }
-        let expired = self.advance_to(at);
         let applied = match *event {
             Event::Insert { id, object, .. } => {
-                validate_object(object.point.x, object.point.y, object.weight)?;
-                if self.objects.contains_key(&id) {
-                    return Err(StreamError::DuplicateId(id));
-                }
-                // Normalize a (validation-passing) `-0.0` weight to `+0.0`
-                // so candidate sums have one bit pattern per value — the
-                // clean-candidate index orders by raw sum bits.
-                let object = WeightedPoint {
-                    point: object.point,
-                    weight: object.weight + 0.0,
-                };
+                let object = self
+                    .live
+                    .check_insert(id, object)
+                    .map_err(StreamError::from)?;
                 let rect = object.to_rect(self.size);
                 let (col_lo, col_hi) = self.column_range(&rect);
                 // Columns at the saturation bound of `grid_cell` have lost
                 // the exact-containment invariant the maintenance relies
-                // on: reject instead of silently mis-binning.
+                // on: reject instead of silently mis-binning.  This check is
+                // stream-specific, interposed between check and commit so
+                // rejected inserts leave the live set untouched.
                 let limit = maxrs_core::GRID_CELL_LIMIT - 1;
                 if col_lo <= -limit || col_hi >= limit {
                     return Err(StreamError::InvalidParameter(format!(
@@ -263,10 +241,17 @@ impl StreamEngine {
                         object.point.x, self.cell_width
                     )));
                 }
-                self.insert_object(id, object, rect, col_lo, col_hi);
+                self.live.commit_insert(id, object);
+                self.attach(id, object, rect, col_lo, col_hi);
                 true
             }
-            Event::Delete { id, .. } => self.remove_object(id),
+            Event::Delete { id, .. } => match self.live.remove(id) {
+                Some(_) => {
+                    self.detach(id);
+                    true
+                }
+                None => false,
+            },
             Event::Tick { .. } => true,
         };
         self.events_since_answer += 1;
@@ -319,24 +304,6 @@ impl StreamEngine {
 
     // ---- event application ------------------------------------------------
 
-    /// Advances the clock to `at` (never backwards) and expires every
-    /// windowed object whose lifetime ended; returns how many expired.
-    fn advance_to(&mut self, at: f64) -> usize {
-        if at > self.now {
-            self.now = at;
-        }
-        let mut expired = 0;
-        while let Some((&(_, id), &exp)) = self.expiry.first_key_value() {
-            // An object is alive while `now < expires_at`.
-            if exp > self.now {
-                break;
-            }
-            self.remove_object(id);
-            expired += 1;
-        }
-        expired
-    }
-
     /// The grid columns `rect` overlaps with positive width.  Touching a
     /// column boundary only (zero-width overlap) does not count: such a part
     /// contributes no location-weight, exactly as a zero-width clip
@@ -369,17 +336,8 @@ impl StreamEngine {
         cell.cached = None;
     }
 
-    fn insert_object(
-        &mut self,
-        id: u64,
-        object: WeightedPoint,
-        rect: Rect,
-        col_lo: i64,
-        col_hi: i64,
-    ) {
-        let seq = self.seq;
-        self.seq += 1;
-        let expires_at = self.config.window.map(|w| self.now + w);
+    /// Routes a just-committed object into the maintenance structures.
+    fn attach(&mut self, id: u64, object: WeightedPoint, rect: Rect, col_lo: i64, col_hi: i64) {
         for col in col_lo..=col_hi {
             let cell = self.cells.entry(col).or_default();
             Self::mark_cell_dirty(&mut self.clean_best, &mut self.dirty_cols, col, cell);
@@ -393,27 +351,25 @@ impl StreamEngine {
         if object.weight > 0.0 {
             self.positive_weight += 1;
         }
-        if let Some(exp) = expires_at {
-            self.expiry.insert((FloatKey::new(exp), id), exp);
-        }
-        self.objects.insert(
+        self.geometry.insert(
             id,
-            LiveObject {
-                object,
+            Geometry {
+                weight: object.weight,
                 rect,
-                seq,
-                expires_at,
                 col_lo,
                 col_hi,
             },
         );
     }
 
-    fn remove_object(&mut self, id: u64) -> bool {
-        let Some(obj) = self.objects.remove(&id) else {
-            return false;
+    /// Undoes [`attach`](StreamEngine::attach) for an object the [`LiveSet`]
+    /// already removed (explicit delete or window expiry).
+    fn detach(&mut self, id: u64) {
+        let Some(geom) = self.geometry.remove(&id) else {
+            debug_assert!(false, "removed object had no maintenance geometry");
+            return;
         };
-        for col in obj.col_lo..=obj.col_hi {
+        for col in geom.col_lo..=geom.col_hi {
             let now_empty = if let Some(cell) = self.cells.get_mut(&col) {
                 Self::mark_cell_dirty(&mut self.clean_best, &mut self.dirty_cols, col, cell);
                 cell.ids.remove(&id);
@@ -430,17 +386,13 @@ impl StreamEngine {
                 self.dirty_cols.remove(&col);
             }
         }
-        self.x_edges.remove(obj.rect.x_lo);
-        self.x_edges.remove(obj.rect.x_hi);
-        self.y_events.remove(obj.rect.y_lo);
-        self.y_events.remove(obj.rect.y_hi);
-        if obj.object.weight > 0.0 {
+        self.x_edges.remove(geom.rect.x_lo);
+        self.x_edges.remove(geom.rect.x_hi);
+        self.y_events.remove(geom.rect.y_lo);
+        self.y_events.remove(geom.rect.y_hi);
+        if geom.weight > 0.0 {
             self.positive_weight -= 1;
         }
-        if let Some(exp) = obj.expires_at {
-            self.expiry.remove(&(FloatKey::new(exp), id));
-        }
-        true
     }
 
     // ---- incremental answering -------------------------------------------
@@ -473,8 +425,8 @@ impl StreamEngine {
             .ids
             .iter()
             .map(|id| {
-                let o = &self.objects[id];
-                RectRecord::new(o.rect, o.object.weight)
+                let g = &self.geometry[id];
+                RectRecord::new(g.rect, g.weight)
             })
             .collect();
         let bound = rects.iter().map(|r| r.weight).sum();
@@ -508,11 +460,11 @@ impl StreamEngine {
     fn maintain_max_rs(&mut self) -> (MaxRsResult, MaintenanceStats) {
         let mut stats = MaintenanceStats {
             cells_total: self.cells.len(),
-            live_objects: self.objects.len(),
+            live_objects: self.live.len(),
             events_since_last_answer: self.events_since_answer,
             ..Default::default()
         };
-        if self.objects.is_empty() {
+        if self.live.is_empty() {
             return (MaxRsResult::empty(), stats);
         }
         if self.positive_weight == 0 {

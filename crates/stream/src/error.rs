@@ -45,6 +45,17 @@ impl From<CoreError> for StreamError {
     }
 }
 
+impl From<maxrs_core::EventError> for StreamError {
+    fn from(e: maxrs_core::EventError) -> Self {
+        // Preserve the historical stream-level variants (and their Display
+        // text) rather than wrapping in `Core`.
+        match e {
+            maxrs_core::EventError::InvalidParameter(msg) => StreamError::InvalidParameter(msg),
+            maxrs_core::EventError::DuplicateId(id) => StreamError::DuplicateId(id),
+        }
+    }
+}
+
 /// Result alias for the streaming layer.
 pub type Result<T> = std::result::Result<T, StreamError>;
 
@@ -60,6 +71,12 @@ mod tests {
         assert!(e.to_string().contains("min-rs"));
         let e: StreamError = CoreError::InvalidParameter("w".into()).into();
         assert!(matches!(e, StreamError::Core(_)));
+        // Event errors from the shared live-set map onto the stream-level
+        // variants, not onto `Core`.
+        let dup: StreamError = maxrs_core::EventError::DuplicateId(9).into();
+        assert_eq!(dup, StreamError::DuplicateId(9));
+        let bad: StreamError = maxrs_core::EventError::InvalidParameter("bad".into()).into();
+        assert_eq!(bad, StreamError::InvalidParameter("bad".into()));
         use std::error::Error;
         assert!(e.source().is_some());
         assert!(StreamError::DuplicateId(1).source().is_none());

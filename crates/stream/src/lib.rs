@@ -43,9 +43,11 @@ mod cells;
 mod config;
 pub mod engine;
 mod error;
-mod event;
 
 pub use config::StreamConfig;
-pub use engine::{EventOutcome, MaintenanceStats, StreamAnswer, StreamEngine};
+pub use engine::{MaintenanceStats, StreamAnswer, StreamEngine};
 pub use error::{Result, StreamError};
-pub use event::Event;
+// The event model and its application semantics live in `maxrs_core::events`,
+// shared with `maxrs_core::DeltaDataset` so the two dynamic engines cannot
+// drift apart; re-exported here for source compatibility.
+pub use maxrs_core::{Event, EventOutcome};

@@ -8,7 +8,9 @@
 //! * [`em`] — the external-memory substrate (simulated disk, buffer pool, I/O
 //!   accounting, external sort).
 //! * [`core`] — the algorithms: ExactMaxRS, ApproxMaxCRS, the in-memory plane
-//!   sweep and the exact MaxCRS reference.
+//!   sweep and the exact MaxCRS reference; plus [`PreparedDataset`] for
+//!   sort-once repeated querying and [`DeltaDataset`] for streaming updates
+//!   over the external path (delta-main + compaction).
 //! * [`stream`] — incremental MaxRS over dynamic data: the sliding-window
 //!   event engine ([`StreamEngine`]) maintaining answers under inserts,
 //!   deletes and window expiry.
@@ -64,9 +66,10 @@ pub use maxrs_stream as stream;
 pub use maxrs_core::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, exact_max_crs_in_memory,
     exact_max_rs, exact_max_rs_from_objects, load_objects, max_k_rs_in_memory, max_rs_in_memory,
-    min_rs_in_memory, ApproxMaxCrsOptions, EngineError, EngineOptions, EngineRun,
-    ExactMaxRsOptions, ExecutionStrategy, InputOrder, MaxCrsResult, MaxRsEngine, MaxRsResult,
-    PreparedDataset, Query, QueryAnswer, QueryBatch, QueryRun, SweepPass,
+    min_rs_in_memory, ApproxMaxCrsOptions, CompactionPolicy, CompactionReport, DeltaDataset,
+    DeltaOptions, EngineError, EngineOptions, EngineRun, ExactMaxRsOptions, ExecutionStrategy,
+    InputOrder, LiveSet, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset, Query,
+    QueryAnswer, QueryBatch, QueryRun, SweepPass,
 };
 pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
