@@ -29,6 +29,7 @@ use maxrs_bench::json::Value;
 use maxrs_bench::report::FigureReport;
 use maxrs_bench::runner::{run_prepared_reuse, run_query_batch, BatchRun, PreparedReuseRun};
 use maxrs_bench::serve_run::{run_serve, ServeRun};
+use maxrs_bench::shard_run::{run_shard_curve, ShardRun};
 use maxrs_bench::stream_run::{run_stream, StreamRun};
 use maxrs_bench::tables::{table2, table3};
 use maxrs_core::Query;
@@ -80,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "usage: experiments \
-     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve|delta> \
+     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve|delta|shard> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
 }
 
@@ -244,6 +245,70 @@ fn delta_runs(opts: &FigureOptions) -> Vec<DeltaRun> {
             run
         })
         .collect()
+}
+
+/// Sharded-prepare scaling: the **same** fixed input is partitioned and
+/// prepared through a [`maxrs_core::ShardedDataset`] at K ∈ {1, 2, 4, 8},
+/// so prepare wall-clock vs shard count is the curve (the headline: the
+/// one-time external sort scales with cores).  The input is deliberately
+/// larger than the figure sweeps — per-shard sort work has to dwarf the
+/// pool's spawn cost for the speedup to mean anything — and the query set
+/// mixes whole-domain MaxRS/top-k with narrow- and wide-domain MinRS so the
+/// samples cover the shards-touched spectrum.  Every sampled answer of
+/// every row is verified bit-identical to an unsharded prepare.
+fn shard_runs(opts: &FigureOptions) -> Vec<ShardRun> {
+    let n = opts.scale.cardinality(12_000_000).max(20_000);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let ds = Dataset::generate(DatasetKind::Uniform, n, opts.seed);
+    let size = RectSize::square(PAPER_RANGE);
+    let queries = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 3),
+        Query::min_rs(size, Rect::new(450_000.0, 470_000.0, 0.0, 1_000_000.0)),
+        Query::min_rs(size, Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0)),
+    ];
+    let rows = run_shard_curve(config, &ds.objects, &[1, 2, 4, 8], &queries)
+        .expect("shard scaling measurement failed");
+    for row in &rows {
+        assert!(
+            row.verified,
+            "K={} sharded answers diverged from the unsharded prepare",
+            row.shards_requested
+        );
+    }
+    rows
+}
+
+fn print_shard_rows(rows: &[ShardRun]) {
+    for row in rows {
+        let lens: Vec<String> = row.shard_lens.iter().map(|l| l.to_string()).collect();
+        let samples: Vec<String> = row
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{}sh {:.1?}/{}",
+                    s.query,
+                    s.shards_touched,
+                    std::time::Duration::from_nanos(s.query_ns as u64),
+                    s.query_io
+                )
+            })
+            .collect();
+        println!(
+            "  backend={:<4} n={} K={}({} built) prepare={:.1?}/{} blk \
+             speedup={:.2}x lens=[{}] queries=[{}]",
+            row.backend,
+            row.n,
+            row.shards_requested,
+            row.shards,
+            std::time::Duration::from_nanos(row.prepare_ns as u64),
+            row.prepare_io.total(),
+            row.speedup_vs_one,
+            lens.join(", "),
+            samples.join(", "),
+        );
+    }
 }
 
 fn print_delta_rows(rows: &[DeltaRun]) {
@@ -459,6 +524,14 @@ fn main() -> ExitCode {
         print_delta_rows(&delta_rows);
         println!("[delta took {:.1?}]", t.elapsed());
     }
+    let mut shard_rows: Vec<ShardRun> = Vec::new();
+    if matches!(command, "shard" | "all") {
+        let t = Instant::now();
+        shard_rows = shard_runs(&opts);
+        println!("\nshard (parallel x-partitioned prepare vs. shard count, verified):");
+        print_shard_rows(&shard_rows);
+        println!("[shard took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
         "all"
@@ -475,63 +548,74 @@ fn main() -> ExitCode {
             | "stream"
             | "serve"
             | "delta"
+            | "shard"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
     }
 
-    // Fixed-scale regression artifacts: every `batch` / `serve` / `delta`
-    // (or `all`) invocation rewrites BENCH_batch.json / BENCH_serve.json /
-    // BENCH_delta.json at smoke scale with a fixed seed, so consecutive runs
-    // produce comparable rows no matter what --scale / --seed the
-    // interactive sweep above used.
-    if matches!(command, "batch" | "all") {
-        let smoke = FigureOptions {
-            scale: ExperimentScale::smoke(),
-            seed: 42,
-            algorithms: opts.algorithms,
-        };
-        let rows: Vec<Value> = batch_runs(&smoke).iter().map(BatchRun::to_value).collect();
-        let path = "BENCH_batch.json";
+    // Fixed-scale regression artifacts: every `prepared` / `batch` /
+    // `stream` / `serve` / `delta` / `shard` (or `all`) invocation rewrites
+    // its BENCH_<command>.json at smoke scale with a fixed seed, so
+    // consecutive runs produce comparable rows no matter what
+    // --scale / --seed the interactive sweep above used.
+    let smoke = FigureOptions {
+        scale: ExperimentScale::smoke(),
+        seed: 42,
+        algorithms: opts.algorithms,
+    };
+    let write_bench = |path: &str, rows: Vec<Value>| -> bool {
         match fs::write(path, Value::Array(rows).to_pretty_string()) {
-            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
+            Ok(()) => {
+                println!("wrote fixed smoke-scale rows to {path}");
+                true
+            }
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
+                false
             }
+        }
+    };
+    if matches!(command, "prepared" | "all") {
+        let rows = prepared_reuse(&smoke)
+            .iter()
+            .map(PreparedReuseRun::to_value)
+            .collect();
+        if !write_bench("BENCH_prepared.json", rows) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if matches!(command, "batch" | "all") {
+        let rows = batch_runs(&smoke).iter().map(BatchRun::to_value).collect();
+        if !write_bench("BENCH_batch.json", rows) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if matches!(command, "stream" | "all") {
+        let rows = stream_runs(&smoke)
+            .iter()
+            .map(StreamRun::to_value)
+            .collect();
+        if !write_bench("BENCH_stream.json", rows) {
+            return ExitCode::FAILURE;
         }
     }
     if matches!(command, "serve" | "all") {
-        let smoke = FigureOptions {
-            scale: ExperimentScale::smoke(),
-            seed: 42,
-            algorithms: opts.algorithms,
-        };
-        let rows: Vec<Value> = serve_runs(&smoke).iter().map(ServeRun::to_value).collect();
-        let path = "BENCH_serve.json";
-        match fs::write(path, Value::Array(rows).to_pretty_string()) {
-            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
-            Err(e) => {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+        let rows = serve_runs(&smoke).iter().map(ServeRun::to_value).collect();
+        if !write_bench("BENCH_serve.json", rows) {
+            return ExitCode::FAILURE;
         }
     }
-
     if matches!(command, "delta" | "all") {
-        let smoke = FigureOptions {
-            scale: ExperimentScale::smoke(),
-            seed: 42,
-            algorithms: opts.algorithms,
-        };
-        let rows: Vec<Value> = delta_runs(&smoke).iter().map(DeltaRun::to_value).collect();
-        let path = "BENCH_delta.json";
-        match fs::write(path, Value::Array(rows).to_pretty_string()) {
-            Ok(()) => println!("wrote fixed smoke-scale rows to {path}"),
-            Err(e) => {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+        let rows = delta_runs(&smoke).iter().map(DeltaRun::to_value).collect();
+        if !write_bench("BENCH_delta.json", rows) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if matches!(command, "shard" | "all") {
+        let rows = shard_runs(&smoke).iter().map(ShardRun::to_value).collect();
+        if !write_bench("BENCH_shard.json", rows) {
+            return ExitCode::FAILURE;
         }
     }
 
@@ -544,6 +628,7 @@ fn main() -> ExitCode {
             .chain(stream_rows.iter().map(StreamRun::to_value))
             .chain(serve_rows.iter().map(ServeRun::to_value))
             .chain(delta_rows.iter().map(DeltaRun::to_value))
+            .chain(shard_rows.iter().map(ShardRun::to_value))
             .collect();
         let count = values.len();
         let json = Value::Array(values).to_pretty_string();

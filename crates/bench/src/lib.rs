@@ -28,7 +28,11 @@
 //! `delta` (event replay into a delta-main [`maxrs_core::DeltaDataset`],
 //! see [`delta_run::run_delta`] — query latency as the pending delta grows
 //! and compaction cost against its `2·N/B` sequential-merge floor, every
-//! answer verified against a from-scratch prepare).
+//! answer verified against a from-scratch prepare) and `shard` (the same
+//! fixed input prepared through a [`maxrs_core::ShardedDataset`] at
+//! increasing shard counts, see [`shard_run::run_shard_curve`] — prepare
+//! wall-clock vs shard count, per-shard I/O and query latency vs
+//! shards-touched, every answer verified against an unsharded prepare).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub mod json;
 pub mod report;
 pub mod runner;
 pub mod serve_run;
+pub mod shard_run;
 pub mod stream_run;
 pub mod tables;
 
@@ -48,4 +53,5 @@ pub use delta_run::{run_delta, DeltaRun};
 pub use report::{FigureReport, Series, SeriesPoint};
 pub use runner::{run_algorithm, AlgorithmRun};
 pub use serve_run::{run_serve, ServeRun};
+pub use shard_run::{run_shard, run_shard_curve, ShardQuerySample, ShardRun};
 pub use stream_run::{run_stream, StreamRun};

@@ -89,14 +89,14 @@ pub struct QueryBatch {
 
 /// One shared pass and the batch positions it answers.
 #[derive(Debug, Clone)]
-struct SweepGroup {
-    kind: GroupKind,
+pub(crate) struct SweepGroup {
+    pub(crate) kind: GroupKind,
     /// Indices into the batch's query list, in batch order.
-    members: Vec<usize>,
+    pub(crate) members: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
-enum GroupKind {
+pub(crate) enum GroupKind {
     /// Positive-weight pass over the unbounded root: MaxRS, top-k and
     /// ApproxMaxCRS of one rectangle size.
     Shared { size: RectSize },
@@ -190,13 +190,19 @@ impl QueryBatch {
     pub fn num_groups(&self) -> usize {
         self.groups.len()
     }
+
+    /// The planned sweep groups, for executors outside this module (the
+    /// sharded dataset layer reuses the plan, shard-routing each group).
+    pub(crate) fn groups(&self) -> &[SweepGroup] {
+        &self.groups
+    }
 }
 
 /// One member's outcome: the answer plus the I/O attributed to it.
-struct MemberOut {
-    index: usize,
-    answer: QueryAnswer,
-    io: IoSnapshot,
+pub(crate) struct MemberOut {
+    pub(crate) index: usize,
+    pub(crate) answer: QueryAnswer,
+    pub(crate) io: IoSnapshot,
 }
 
 /// How group phases measure their I/O: global counter deltas when groups run

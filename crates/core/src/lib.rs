@@ -26,7 +26,11 @@
 //!   query variant instantiates ([`crate::sweep`]),
 //! * [`QueryBatch`] / [`PreparedDataset::run_batch`] — batched multi-query
 //!   execution: M queries answered in shared sweep passes, grouped by
-//!   rectangle size ([`crate::batch`]).
+//!   rectangle size ([`crate::batch`]),
+//! * [`ShardedDataset`] / [`MaxRsEngine::prepare_sharded`] — the x-domain
+//!   split into balanced shards prepared **concurrently** (each on its own
+//!   block device), queries routed to the shards they touch and merged
+//!   exactly through the span-event decomposition ([`crate::shard`]).
 //!
 //! The external-memory algorithms run against a [`maxrs_em::EmContext`], which
 //! simulates a block device with a bounded buffer pool and counts every block
@@ -111,6 +115,7 @@ pub mod records;
 pub mod reference;
 mod result;
 pub mod segment_tree;
+pub mod shard;
 pub mod slab;
 pub mod sweep;
 
@@ -143,6 +148,7 @@ pub use records::{ObjectRecord, RectRecord, SlabTuple, SpanEvent};
 pub use reference::{brute_force_max_crs, brute_force_max_rs, circle_objective, rect_objective};
 pub use result::{MaxCrsResult, MaxRsResult};
 pub use segment_tree::SegmentTree;
+pub use shard::{ShardLayout, ShardedDataset};
 pub use slab::{compute_partition, distribute, BoundarySource, Distribution, SlabPartition};
 pub use sweep::{
     next_breakpoint_after, transform_to_rect_file, transform_to_scaled_rect_file, InputOrder,

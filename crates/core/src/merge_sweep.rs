@@ -43,11 +43,36 @@ pub fn merge_sweep(
             slabs.len()
         )));
     }
-    let m = slab_files.len();
-    let mut readers: Vec<TupleReader<'_, SlabTuple>> =
+    let readers: Vec<TupleReader<'_, SlabTuple>> =
         slab_files.iter().map(|f| ctx.open_reader(f)).collect();
-    let mut span_reader: TupleReader<'_, SpanEvent> = ctx.open_reader(span_events);
-    let mut writer = ctx.create_writer::<SlabTuple>()?;
+    let span_reader: TupleReader<'_, SpanEvent> = ctx.open_reader(span_events);
+    merge_sweep_readers(ctx, readers, slabs, span_reader)
+}
+
+/// Reader-level core of [`merge_sweep`]: merges `m` y-sorted slab-tuple
+/// streams plus a y-sorted spanning-event stream into the slab-file of the
+/// union slab, written on `out_ctx`.
+///
+/// The readers may come from **different contexts** (each borrows only the
+/// context its file lives on) — this is what lets the sharded dataset layer
+/// ([`crate::shard`]) combine per-shard slab-files that live on per-shard
+/// block devices into one answer without first copying them to a common
+/// device.
+pub(crate) fn merge_sweep_readers(
+    out_ctx: &EmContext,
+    mut readers: Vec<TupleReader<'_, SlabTuple>>,
+    slabs: &[Interval],
+    mut span_reader: TupleReader<'_, SpanEvent>,
+) -> Result<TupleFile<SlabTuple>> {
+    if readers.len() != slabs.len() {
+        return Err(CoreError::Internal(format!(
+            "merge_sweep got {} slab readers but {} slabs",
+            readers.len(),
+            slabs.len()
+        )));
+    }
+    let m = readers.len();
+    let mut writer = out_ctx.create_writer::<SlabTuple>()?;
 
     // Sweep state.
     let mut up_sum = vec![0.0f64; m];

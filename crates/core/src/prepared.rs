@@ -244,6 +244,19 @@ impl PreparedDataset<'_> {
         self.len == 0
     }
 
+    /// The context and retained x-sorted object file of an external dataset,
+    /// or `None` for an in-memory one.  The sharded layer ([`crate::shard`])
+    /// drives its per-shard passes through this instead of `run_planned`, so
+    /// that one global sweep can span every shard's file.
+    pub(crate) fn external_parts(&self) -> Option<(&EmContext, &TupleFile<ObjectRecord>)> {
+        match &self.source {
+            Source::Memory(_) => None,
+            Source::External { ctx, sorted } => {
+                Some((ctx.get(), sorted.as_ref().expect("sorted file taken")))
+            }
+        }
+    }
+
     /// `true` when queries run through the external-memory pipeline (a sorted
     /// object file is retained); `false` when the dataset fits the memory
     /// budget and queries are answered in memory at zero I/O.

@@ -312,6 +312,31 @@ pub fn next_breakpoint_after(
     Ok(best)
 }
 
+/// Runs the distribution-sweep recursion over an **already distributed**
+/// rectangle file: the caller has cropped the rectangles to `slab` (and
+/// routed away anything outside it), so no transform and no top-level sort
+/// happen here.  `sorted` says whether the file is in center-x order (exact
+/// boundary selection) or not (sampled boundaries, as for recursion
+/// children).  This is the per-shard entry point of the sharded dataset
+/// layer ([`crate::shard`]), which runs one such solve per shard and then
+/// combines the shard slab-files through the same span-event MergeSweep the
+/// recursion itself uses.
+pub(crate) fn solve_rects(
+    ctx: &EmContext,
+    opts: &ExactMaxRsOptions,
+    rects: TupleFile<RectRecord>,
+    slab: Interval,
+    sorted: bool,
+    workers: usize,
+) -> Result<TupleFile<SlabTuple>> {
+    let runner = Runner {
+        ctx,
+        opts: *opts,
+        workers: workers.max(1),
+    };
+    runner.solve(rects, slab, sorted)
+}
+
 struct Runner<'a> {
     ctx: &'a EmContext,
     opts: ExactMaxRsOptions,
@@ -500,7 +525,10 @@ impl<'a> Runner<'a> {
 }
 
 /// Scans the final slab-file for the best tuple and converts it into a result.
-fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
+pub(crate) fn extract_best(
+    ctx: &EmContext,
+    slab_file: &TupleFile<SlabTuple>,
+) -> Result<MaxRsResult> {
     let mut reader = ctx.open_reader(slab_file);
     let mut best: Option<SlabTuple> = None;
     let mut best_next_y: Option<f64> = None;

@@ -25,4 +25,6 @@ mod synthetic;
 
 pub use dataset::{Dataset, DatasetKind, WeightMode};
 pub use real::{ne_surrogate, ux_surrogate, NE_CARDINALITY, UX_CARDINALITY};
-pub use synthetic::{event_stream, gaussian, uniform, EventStreamConfig, SPACE_EXTENT};
+pub use synthetic::{
+    clustered, event_stream, gaussian, uniform, zipf_x, EventStreamConfig, SPACE_EXTENT,
+};

@@ -39,6 +39,65 @@ pub fn gaussian(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
         .collect()
 }
 
+/// `n` points in three x-clusters of very unequal mass (60% / 30% / 10%),
+/// each a tight Gaussian (σ = extent / 80) around centers at 15%, 50% and 85%
+/// of the space, y uniform, all of weight 1.
+///
+/// Equal-*width* x-splits starve two of three partitions on this input;
+/// quantile-based boundary selection (used by sharded datasets and the slab
+/// partitioner) keeps per-partition counts balanced — which is exactly what
+/// the balanced-split tests assert.
+pub fn clustered(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint> {
+    assert!(extent > 0.0, "extent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = [0.15 * extent, 0.50 * extent, 0.85 * extent];
+    let normal = Normal::new(0.0, extent / 80.0).expect("valid normal");
+    (0..n)
+        .map(|_| {
+            let roll: f64 = rng.gen();
+            let center = if roll < 0.6 {
+                centers[0]
+            } else if roll < 0.9 {
+                centers[1]
+            } else {
+                centers[2]
+            };
+            let x = (center + normal.sample(&mut rng)).clamp(0.0, extent);
+            WeightedPoint::unit(x, rng.gen_range(0.0..extent))
+        })
+        .collect()
+}
+
+/// `n` points whose x follows a Zipf law with exponent `s` over 256 discrete
+/// x-values spread across `[0, extent]`, y uniform, all of weight 1.
+///
+/// The hot ranks concentrate a large fraction of the points on a handful of
+/// *exact* x-values — heavy duplicate mass, the worst case for quantile
+/// boundary selection, since everything sharing an x must share a partition.
+pub fn zipf_x(n: usize, extent: f64, s: f64, seed: u64) -> Vec<WeightedPoint> {
+    assert!(extent > 0.0, "extent must be positive");
+    assert!(s > 0.0 && s.is_finite(), "zipf exponent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    const RANKS: usize = 256;
+    // Inverse-CDF sampling over the (finite) rank distribution.
+    let mut cdf = Vec::with_capacity(RANKS);
+    let mut total = 0.0;
+    for k in 1..=RANKS {
+        total += 1.0 / (k as f64).powf(s);
+        cdf.push(total);
+    }
+    let pitch = extent / RANKS as f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            let rank = cdf.partition_point(|&c| c <= u);
+            // Rank r sits at a fixed grid x; hot ranks repeat their x exactly.
+            let x = (rank as f64 + 0.5) * pitch;
+            WeightedPoint::unit(x, rng.gen_range(0.0..extent))
+        })
+        .collect()
+}
+
 /// Shape of a generated event stream (see [`event_stream`]).
 ///
 /// Defaults: 10k events over the paper's `1M × 1M` space, one time unit per
@@ -176,6 +235,36 @@ mod tests {
         assert_eq!(uniform(100, 1000.0, 42), uniform(100, 1000.0, 42));
         assert_eq!(gaussian(100, 1000.0, 42), gaussian(100, 1000.0, 42));
         assert_ne!(uniform(100, 1000.0, 1), uniform(100, 1000.0, 2));
+        assert_eq!(clustered(100, 1000.0, 42), clustered(100, 1000.0, 42));
+        assert_eq!(zipf_x(100, 1000.0, 1.1, 42), zipf_x(100, 1000.0, 1.1, 42));
+        assert_ne!(zipf_x(100, 1000.0, 1.1, 1), zipf_x(100, 1000.0, 1.1, 2));
+    }
+
+    #[test]
+    fn clustered_is_x_skewed() {
+        let pts = clustered(4000, 1000.0, 3);
+        assert_eq!(pts.len(), 4000);
+        // The heavy cluster sits at 15% of the space and holds ~60% of the
+        // mass; an equal-width quarter of the space captures it whole.
+        let heavy = pts.iter().filter(|p| p.point.x < 250.0).count();
+        assert!(heavy > 2000, "heavy cluster holds only {heavy} of 4000");
+        assert!(pts.iter().all(|p| (0.0..=1000.0).contains(&p.point.x)));
+    }
+
+    #[test]
+    fn zipf_x_has_heavy_duplicate_mass() {
+        let pts = zipf_x(4000, 1000.0, 1.2, 3);
+        assert_eq!(pts.len(), 4000);
+        let mut counts = std::collections::HashMap::new();
+        for p in &pts {
+            *counts.entry(p.point.x.to_bits()).or_insert(0usize) += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        assert!(
+            hottest > 400,
+            "hot rank repeats only {hottest} times — not zipfian"
+        );
+        assert!(counts.len() > 20, "only {} distinct x-values", counts.len());
     }
 
     #[test]

@@ -21,8 +21,14 @@ use crate::{FileId, IoSnapshot, Result};
 /// read-ahead, write coalescing).  Paper-style I/O counts are therefore
 /// backend-independent — swapping the backend changes wall-clock behaviour,
 /// never the counters.  The [`BufferPool`](crate::BufferPool) sits on top and
-/// is the only caching layer the model acknowledges; devices themselves must
-/// not cache (every call corresponds to one counted transfer).
+/// is the only caching layer the model acknowledges; devices must not add
+/// caching that changes the counted transfers (every `read_block` /
+/// `write_block` call counts as one, whether or not the bytes were already
+/// staged).  Physical read-ahead *below* the counters is fine — [`FsDisk`]
+/// overlaps the next sequential block's disk read with the caller's compute,
+/// which moves wall-clock, never a counter.
+///
+/// [`FsDisk`]: crate::FsDisk
 ///
 /// All methods take `&self`: devices are internally synchronized and shared
 /// across the scoped worker threads of the parallel slab stage

@@ -76,6 +76,6 @@ mod stats;
 pub use batcher::MicroBatcher;
 pub use config::{OverloadPolicy, ServeConfig};
 pub use error::{Result, ServeError};
-pub use registry::{DatasetHandle, DatasetRegistry};
+pub use registry::{DatasetHandle, DatasetRegistry, ServedDataset};
 pub use server::{MaxRsServer, QueryResponse, Ticket};
 pub use stats::ServerStats;

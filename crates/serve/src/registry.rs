@@ -1,4 +1,4 @@
-//! [`DatasetRegistry`]: a cache of [`PreparedDataset`]s keyed by dataset id.
+//! [`DatasetRegistry`]: a cache of served datasets keyed by dataset id.
 //!
 //! A long-lived server answers queries against many datasets, and preparing
 //! one (the external x-sort) is exactly the cost
@@ -15,6 +15,11 @@
 //! The RAII drop of [`PreparedDataset`] then deletes the retained blocks, so
 //! a registry churning through datasets never leaks disk space.
 //!
+//! Entries come in two serving shapes (see [`ServedDataset`]): plain prepared
+//! datasets ([`DatasetRegistry::insert`]) and sharded ones
+//! ([`DatasetRegistry::insert_sharded`]), whose preparation runs shard-parallel
+//! and whose shards can live on dedicated directories/devices.
+//!
 //! # Dynamic datasets
 //!
 //! An entry registered with [`DatasetRegistry::insert_dynamic`] additionally
@@ -29,15 +34,114 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use maxrs_core::{DeltaDataset, DeltaOptions, Event, MaxRsEngine, PreparedDataset};
+use maxrs_core::{
+    DeltaDataset, DeltaOptions, Event, MaxRsEngine, PreparedDataset, Query, QueryBatch, QueryRun,
+    ShardLayout, ShardedDataset,
+};
+use maxrs_em::IoSnapshot;
 use maxrs_geometry::WeightedPoint;
 use parking_lot::Mutex;
 
 use crate::error::{Result, ServeError};
 
 /// A ref-counted handle to a cached dataset.  Cloning is cheap; the dataset
-/// (and its retained sorted file) lives until the last handle drops.
-pub type DatasetHandle = Arc<PreparedDataset<'static>>;
+/// (and its retained sorted files) lives until the last handle drops.
+pub type DatasetHandle = Arc<ServedDataset>;
+
+/// What a registry entry serves: an unsharded [`PreparedDataset`] or a
+/// [`ShardedDataset`] whose shards were prepared concurrently (and may live
+/// on dedicated devices).  Both answer every [`Query`] variant bit-identically
+/// through the same interface, so the batching executor treats them uniformly.
+#[derive(Debug)]
+pub enum ServedDataset {
+    /// A single prepared dataset (one sorted file, one device).
+    Prepared(PreparedDataset<'static>),
+    /// An x-sharded dataset ([`MaxRsEngine::prepare_sharded`]).
+    Sharded(ShardedDataset),
+}
+
+impl ServedDataset {
+    /// Answers one query.
+    pub fn run(&self, query: &Query) -> maxrs_core::Result<QueryRun> {
+        match self {
+            ServedDataset::Prepared(d) => d.run(query),
+            ServedDataset::Sharded(d) => d.run(query),
+        }
+    }
+
+    /// Plans and answers a batch of queries in shared sweep passes.
+    pub fn run_batch(&self, queries: &[Query]) -> maxrs_core::Result<Vec<QueryRun>> {
+        match self {
+            ServedDataset::Prepared(d) => d.run_batch(queries),
+            ServedDataset::Sharded(d) => d.run_batch(queries),
+        }
+    }
+
+    /// Executes an already planned batch.
+    pub fn run_planned(&self, batch: &QueryBatch) -> maxrs_core::Result<Vec<QueryRun>> {
+        match self {
+            ServedDataset::Prepared(d) => d.run_planned(batch),
+            ServedDataset::Sharded(d) => d.run_planned(batch),
+        }
+    }
+
+    /// Total number of objects.
+    pub fn len(&self) -> u64 {
+        match self {
+            ServedDataset::Prepared(d) => d.len(),
+            ServedDataset::Sharded(d) => d.len(),
+        }
+    }
+
+    /// `true` when the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated retained bytes (summed over shards when sharded) — the
+    /// quantity the registry's memory budget bounds.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            ServedDataset::Prepared(d) => d.resident_bytes(),
+            ServedDataset::Sharded(d) => d.resident_bytes(),
+        }
+    }
+
+    /// Blocks transferred by the one-time preparation (summed over shards
+    /// when sharded).
+    pub fn prepare_io(&self) -> IoSnapshot {
+        match self {
+            ServedDataset::Prepared(d) => d.prepare_io(),
+            ServedDataset::Sharded(d) => d.prepare_io(),
+        }
+    }
+
+    /// `true` when the dataset is stored externally (sharded datasets always
+    /// are; a prepared dataset may have stayed in memory).
+    pub fn is_external(&self) -> bool {
+        match self {
+            ServedDataset::Prepared(d) => d.is_external(),
+            ServedDataset::Sharded(_) => true,
+        }
+    }
+
+    /// Storage-backend name of the dataset's context, when it has one
+    /// (`None` for a prepared dataset that stayed fully in memory).
+    pub fn backend_name(&self) -> Option<&'static str> {
+        match self {
+            ServedDataset::Prepared(d) => d.backend_name(),
+            ServedDataset::Sharded(d) => Some(d.backend_name()),
+        }
+    }
+
+    /// Number of shards serving this dataset: 1 unless sharded.
+    pub fn num_shards(&self) -> usize {
+        match self {
+            ServedDataset::Prepared(_) => 1,
+            ServedDataset::Sharded(d) => d.num_shards(),
+        }
+    }
+}
 
 struct Entry {
     data: DatasetHandle,
@@ -128,8 +232,27 @@ impl DatasetRegistry {
     /// Preparation runs outside the registry lock, so concurrent lookups of
     /// other datasets never stall behind a slow external sort.
     pub fn insert(&self, id: &str, objects: &[WeightedPoint]) -> Result<DatasetHandle> {
-        let prepared: DatasetHandle = Arc::new(self.engine.prepare(objects)?);
+        let prepared: DatasetHandle =
+            Arc::new(ServedDataset::Prepared(self.engine.prepare(objects)?));
         self.install(id, prepared, None)
+    }
+
+    /// Prepares `objects` as a [`ShardedDataset`] under `layout` — the
+    /// external x-sort runs `layout.shards`-way parallel, and the shards can
+    /// live on dedicated directories — and caches it under `id`, exactly like
+    /// [`insert`](DatasetRegistry::insert) otherwise.  Sharded entries answer
+    /// bit-identically to unsharded ones, so callers cannot tell them apart
+    /// through the query path.
+    pub fn insert_sharded(
+        &self,
+        id: &str,
+        objects: &[WeightedPoint],
+        layout: &ShardLayout,
+    ) -> Result<DatasetHandle> {
+        let sharded: DatasetHandle = Arc::new(ServedDataset::Sharded(
+            self.engine.prepare_sharded(objects, layout)?,
+        ));
+        self.install(id, sharded, None)
     }
 
     /// Registers a **dynamic** dataset under `id`: a [`DeltaDataset`] seeded
@@ -145,7 +268,7 @@ impl DatasetRegistry {
     ) -> Result<DatasetHandle> {
         let mut delta = DeltaDataset::new(&self.engine, options)?;
         delta.apply(events)?;
-        let prepared: DatasetHandle = Arc::new(delta.snapshot()?);
+        let prepared: DatasetHandle = Arc::new(ServedDataset::Prepared(delta.snapshot()?));
         self.install(id, prepared, Some(Arc::new(Mutex::new(delta))))
     }
 
@@ -177,7 +300,7 @@ impl DatasetRegistry {
         let prepared: DatasetHandle = {
             let mut delta = dynamic.lock();
             delta.apply(events)?;
-            Arc::new(delta.snapshot()?)
+            Arc::new(ServedDataset::Prepared(delta.snapshot()?))
         };
         let bytes = prepared.resident_bytes();
         let mut guard = self.inner.lock();
@@ -400,6 +523,35 @@ mod tests {
         assert!(!registry.contains("b"), "LRU entry evicted");
         assert!(registry.contains("c"), "new entry never self-evicts");
         assert!(registry.resident_bytes() <= 2 * per_dataset);
+    }
+
+    #[test]
+    fn sharded_entries_serve_bit_identically_to_unsharded_ones() {
+        let registry = DatasetRegistry::new(external_engine());
+        let data = objects(1200, 7);
+        registry.insert("flat", &data).unwrap();
+        registry
+            .insert_sharded("sharded", &data, &maxrs_core::ShardLayout::new(3))
+            .unwrap();
+        let flat = registry.get("flat").unwrap();
+        let sharded = registry.get("sharded").unwrap();
+        assert_eq!(flat.num_shards(), 1);
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(flat.len(), sharded.len());
+        assert!(sharded.resident_bytes() > 0);
+        assert!(sharded.prepare_io().total() > 0);
+        let queries = vec![
+            Query::max_rs(RectSize::square(120.0)),
+            Query::top_k(RectSize::square(120.0), 2),
+            Query::approx_max_crs(120.0),
+        ];
+        let flat_runs = flat.run_batch(&queries).unwrap();
+        let sharded_runs = sharded.run_batch(&queries).unwrap();
+        for ((q, f), s) in queries.iter().zip(&flat_runs).zip(&sharded_runs) {
+            assert_eq!(f.answer, s.answer, "{} diverged", q.name());
+        }
+        // Sharded entries are static: no update path.
+        assert!(!registry.is_dynamic("sharded"));
     }
 
     #[test]

@@ -3,15 +3,15 @@
 //!
 //! The build environment of this repository has no access to crates.io, so the
 //! tiny API slice the workspace relies on — [`Mutex`] and [`RwLock`] with
-//! non-poisoning guards — is provided here on top of `std::sync`.  Poisoning
-//! is translated into lock acquisition that ignores the poison flag, matching
-//! parking_lot's semantics (a panicking thread does not wedge the lock for
-//! everyone else).
+//! non-poisoning guards, plus the matching [`Condvar`] — is provided here on
+//! top of `std::sync`.  Poisoning is translated into lock acquisition that
+//! ignores the poison flag, matching parking_lot's semantics (a panicking
+//! thread does not wedge the lock for everyone else).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with the `parking_lot::Mutex` API: `lock()` returns
 /// the guard directly (no `Result`) and panicking while holding the lock does
@@ -19,6 +19,29 @@ use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
+}
+
+/// The guard returned by [`Mutex::lock`].  Wraps the std guard in an `Option`
+/// so [`Condvar::wait`] can hand it through std's by-value wait while keeping
+/// parking_lot's by-reference signature (the slot is only ever empty *during*
+/// a wait, when the caller cannot observe it).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
 }
 
 impl<T> Mutex<T> {
@@ -41,10 +64,11 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        let inner = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        MutexGuard { inner: Some(inner) }
     }
 
     /// Returns a mutable reference to the protected value without locking
@@ -54,6 +78,43 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+/// A condition variable with the `parking_lot::Condvar` API: `wait` takes the
+/// guard by `&mut` (instead of std's by-value round trip) and spurious
+/// wake-ups are possible, exactly as with both upstream implementations.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified, then
+    /// reacquires the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        guard.inner = Some(match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+    }
+
+    /// Wakes one thread blocked on this condition variable, if any.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -101,6 +162,26 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!   accounting, external sort).
 //! * [`core`] — the algorithms: ExactMaxRS, ApproxMaxCRS, the in-memory plane
 //!   sweep and the exact MaxCRS reference; plus [`PreparedDataset`] for
-//!   sort-once repeated querying and [`DeltaDataset`] for streaming updates
-//!   over the external path (delta-main + compaction).
+//!   sort-once repeated querying, [`DeltaDataset`] for streaming updates
+//!   over the external path (delta-main + compaction), and
+//!   [`ShardedDataset`] for x-partitioned parallel prepare with
+//!   shard-routed, bit-identical queries.
 //! * [`stream`] — incremental MaxRS over dynamic data: the sliding-window
 //!   event engine ([`StreamEngine`]) maintaining answers under inserts,
 //!   deletes and window expiry.
@@ -69,7 +71,7 @@ pub use maxrs_core::{
     min_rs_in_memory, ApproxMaxCrsOptions, CompactionPolicy, CompactionReport, DeltaDataset,
     DeltaOptions, EngineError, EngineOptions, EngineRun, ExactMaxRsOptions, ExecutionStrategy,
     InputOrder, LiveSet, MaxCrsResult, MaxRsEngine, MaxRsResult, PreparedDataset, Query,
-    QueryAnswer, QueryBatch, QueryRun, SweepPass,
+    QueryAnswer, QueryBatch, QueryRun, ShardLayout, ShardedDataset, SweepPass,
 };
 pub use maxrs_em::{BlockDevice, EmConfig, EmContext, FsDisk, IoSnapshot, SimDisk, StorageBackend};
 pub use maxrs_geometry::{Circle, Interval, Point, Rect, RectSize, WeightedPoint};
