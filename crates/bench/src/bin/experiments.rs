@@ -17,6 +17,7 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use maxrs_bench::cluster_run::{run_cluster_curve, ClusterRun};
 use maxrs_bench::config::{
     ExperimentScale, PAPER_BUFFER_SYNTHETIC, PAPER_CARDINALITY, PAPER_RANGE,
 };
@@ -81,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "usage: experiments \
-     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve|delta|shard> \
+     <all|fig12|fig13|fig14|fig15|fig16|fig17|table2|table3|prepared|batch|stream|serve|delta|shard|cluster> \
      [--scale F | --paper-scale | --smoke] [--seed N] [--no-naive] [--json PATH]"
 }
 
@@ -277,6 +278,66 @@ fn shard_runs(opts: &FigureOptions) -> Vec<ShardRun> {
         );
     }
     rows
+}
+
+/// Cluster scale-out: the same fixed input at a fixed shard count (K = 6)
+/// is hosted on 1, 2, 3 and 6 [`maxrs_cluster::ShardServer`]s over the
+/// in-process transport, plus one row over real TCP loopback at 6 servers,
+/// so query latency and queries/sec vs server count is the curve and the
+/// TCP row isolates the wire cost.  The query set mixes whole-domain
+/// MaxRS/top-k with narrow- and wide-domain MinRS so the samples cover the
+/// shards-touched (and hence fan-out) spectrum.  Every sampled answer of
+/// every row is verified bit-identical to an unsharded prepare.
+fn cluster_runs(opts: &FigureOptions) -> Vec<ClusterRun> {
+    let n = opts.scale.cardinality(PAPER_CARDINALITY).max(5_000);
+    let config = opts.scale.em_config(PAPER_BUFFER_SYNTHETIC);
+    let ds = Dataset::generate(DatasetKind::Uniform, n, opts.seed);
+    let size = RectSize::square(PAPER_RANGE);
+    let queries = vec![
+        Query::max_rs(size),
+        Query::top_k(size, 3),
+        Query::min_rs(size, Rect::new(450_000.0, 470_000.0, 0.0, 1_000_000.0)),
+        Query::min_rs(size, Rect::new(100_000.0, 900_000.0, 100_000.0, 900_000.0)),
+    ];
+    let rows = run_cluster_curve(config, &ds.objects, 6, &[1, 2, 3, 6], &queries)
+        .expect("cluster scale-out measurement failed");
+    for row in &rows {
+        assert!(
+            row.verified,
+            "{} x{} cluster answers diverged from the unsharded prepare",
+            row.transport, row.servers
+        );
+    }
+    rows
+}
+
+fn print_cluster_rows(rows: &[ClusterRun]) {
+    for row in rows {
+        let samples: Vec<String> = row
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{}sh/{}srv {:.1?}/{}",
+                    s.query,
+                    s.shards_touched,
+                    s.fan_out,
+                    std::time::Duration::from_nanos(s.query_ns as u64),
+                    s.query_io
+                )
+            })
+            .collect();
+        println!(
+            "  backend={:<4} transport={:<10} n={} K={} servers={} qps={:.1} queries=[{}]",
+            row.backend,
+            row.transport,
+            row.n,
+            row.shards,
+            row.servers,
+            row.qps(),
+            samples.join(", "),
+        );
+    }
 }
 
 fn print_shard_rows(rows: &[ShardRun]) {
@@ -532,6 +593,14 @@ fn main() -> ExitCode {
         print_shard_rows(&shard_rows);
         println!("[shard took {:.1?}]", t.elapsed());
     }
+    let mut cluster_rows: Vec<ClusterRun> = Vec::new();
+    if matches!(command, "cluster" | "all") {
+        let t = Instant::now();
+        cluster_rows = cluster_runs(&opts);
+        println!("\ncluster (multi-node scale-out at fixed K, both transports, verified):");
+        print_cluster_rows(&cluster_rows);
+        println!("[cluster took {:.1?}]", t.elapsed());
+    }
     if !matches!(
         command,
         "all"
@@ -549,13 +618,15 @@ fn main() -> ExitCode {
             | "serve"
             | "delta"
             | "shard"
+            | "cluster"
     ) {
         eprintln!("unknown command: {command}\n{}", usage());
         return ExitCode::FAILURE;
     }
 
     // Fixed-scale regression artifacts: every `prepared` / `batch` /
-    // `stream` / `serve` / `delta` / `shard` (or `all`) invocation rewrites
+    // `stream` / `serve` / `delta` / `shard` / `cluster` (or `all`)
+    // invocation rewrites
     // its BENCH_<command>.json at smoke scale with a fixed seed, so
     // consecutive runs produce comparable rows no matter what
     // --scale / --seed the interactive sweep above used.
@@ -618,6 +689,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if matches!(command, "cluster" | "all") {
+        let rows = cluster_runs(&smoke)
+            .iter()
+            .map(ClusterRun::to_value)
+            .collect();
+        if !write_bench("BENCH_cluster.json", rows) {
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = args.json_path {
         let values: Vec<Value> = reports
@@ -629,6 +709,7 @@ fn main() -> ExitCode {
             .chain(serve_rows.iter().map(ServeRun::to_value))
             .chain(delta_rows.iter().map(DeltaRun::to_value))
             .chain(shard_rows.iter().map(ShardRun::to_value))
+            .chain(cluster_rows.iter().map(ClusterRun::to_value))
             .collect();
         let count = values.len();
         let json = Value::Array(values).to_pretty_string();

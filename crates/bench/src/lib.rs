@@ -32,11 +32,18 @@
 //! fixed input prepared through a [`maxrs_core::ShardedDataset`] at
 //! increasing shard counts, see [`shard_run::run_shard_curve`] — prepare
 //! wall-clock vs shard count, per-shard I/O and query latency vs
-//! shards-touched, every answer verified against an unsharded prepare).
+//! shards-touched, every answer verified against an unsharded prepare)
+//! and `cluster` (the same fixed input at a fixed shard count hosted on an
+//! increasing number of [`maxrs_cluster::ShardServer`]s, see
+//! [`cluster_run::run_cluster_curve`] — query latency and queries/sec vs
+//! server count over the in-process transport plus one row over real TCP
+//! loopback, fan-out vs shards-touched per sample, every answer verified
+//! against an unsharded prepare).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster_run;
 pub mod config;
 pub mod delta_run;
 pub mod figures;
@@ -48,6 +55,7 @@ pub mod shard_run;
 pub mod stream_run;
 pub mod tables;
 
+pub use cluster_run::{run_cluster, run_cluster_curve, ClusterQuerySample, ClusterRun};
 pub use config::{ExperimentScale, PAPER_BLOCK_SIZE};
 pub use delta_run::{run_delta, DeltaRun};
 pub use report::{FigureReport, Series, SeriesPoint};

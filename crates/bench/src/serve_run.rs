@@ -151,7 +151,7 @@ pub fn run_serve(
     let expected: Vec<QueryAnswer> = pool
         .iter()
         .map(|q| handle.run(q).map(|run| run.answer))
-        .collect::<maxrs_core::Result<_>>()?;
+        .collect::<Result<_, ServeError>>()?;
     drop(handle);
 
     let server = Arc::new(MaxRsServer::start(registry, serve)?);

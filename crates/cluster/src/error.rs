@@ -1,0 +1,134 @@
+//! Typed failures of the cluster layer.
+//!
+//! The split mirrors where a failure can originate:
+//!
+//! * [`TransportError`] — one **attempt** of one request failed (timeout,
+//!   refused connection, malformed frame).  Transports never retry; the
+//!   coordinator owns the retry budget.
+//! * [`ClusterError`] — a **query** (or the cluster handshake) failed.  A
+//!   server that stays unreachable after the retry budget surfaces as
+//!   [`ClusterError::ShardUnavailable`] *naming the shards it hosts*, so a
+//!   dead shard is always a typed error, never a hang or a wrong answer.
+
+use maxrs_core::CoreError;
+
+/// Failure of a single request attempt on a [`Transport`](crate::Transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The attempt did not complete within the per-request timeout.
+    Timeout {
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// The remote end is unreachable (connection refused, reset, closed).
+    Unavailable {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The bytes on the wire did not decode as a protocol message.
+    Protocol {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout { millis } => {
+                write!(f, "request timed out after {millis} ms")
+            }
+            TransportError::Unavailable { detail } => write!(f, "server unavailable: {detail}"),
+            TransportError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Failure of a cluster query or of
+/// [`ClusterCoordinator::connect`](crate::ClusterCoordinator::connect).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A server stayed unreachable through the whole timeout + retry budget
+    /// (or was already marked dead by the health tracker).  Names the server
+    /// and every shard it hosts.
+    ShardUnavailable {
+        /// Transport name of the unreachable server.
+        server: String,
+        /// Global shard ids hosted by that server.
+        shards: Vec<usize>,
+        /// Attempts made before giving up (0 when fast-failed as dead).
+        attempts: u32,
+        /// The last transport failure observed.
+        detail: String,
+    },
+    /// The server was reachable but reported a request-level error.  These
+    /// are deterministic (bad request, storage failure) and are not retried.
+    Remote {
+        /// Transport name of the reporting server.
+        server: String,
+        /// The server's error message.
+        detail: String,
+    },
+    /// A reply decoded fine but violated the coordinator's expectations
+    /// (wrong variant, missing or duplicated shard/slab coverage).
+    Protocol {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The cluster handshake found an inconsistent topology: disagreeing
+    /// shard boundaries, duplicated shards, or shards hosted nowhere.
+    Topology {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A local (coordinator-side) algorithm failure.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ShardUnavailable {
+                server,
+                shards,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "server '{server}' hosting shards {shards:?} unavailable after {attempts} attempt(s): {detail}"
+            ),
+            ClusterError::Remote { server, detail } => {
+                write!(f, "server '{server}' failed the request: {detail}")
+            }
+            ClusterError::Protocol { detail } => write!(f, "cluster protocol violation: {detail}"),
+            ClusterError::Topology { detail } => write!(f, "inconsistent cluster topology: {detail}"),
+            ClusterError::Core(e) => write!(f, "coordinator-side failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ClusterError {
+    fn from(e: CoreError) -> Self {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<maxrs_em::EmError> for ClusterError {
+    fn from(e: maxrs_em::EmError) -> Self {
+        ClusterError::Core(e.into())
+    }
+}
+
+/// Convenience alias for cluster-layer results.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,534 @@
+//! The shard-hosting server: owns one or more shards' [`PreparedDataset`]s
+//! and answers the per-shard sub-queries of the cluster protocol.
+//!
+//! A [`ShardServer`] is transport-agnostic: [`ShardServer::handle`] maps one
+//! [`Request`] to one [`Response`] synchronously.  The in-process transport
+//! calls it directly; the TCP transport calls it from connection threads
+//! (all request state is per-call, so `handle` is freely concurrent).
+//!
+//! Every handler is a **verbatim mirror** of the corresponding phase of the
+//! single-machine [`ShardedDataset`](maxrs_core::ShardedDataset): the same
+//! cropping rule, the same piece ordering, the same scans — restricted to
+//! the shards this server hosts.  That is what makes the coordinator's
+//! merged answers bit-identical to the unsharded sweep.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use maxrs_core::shard::prepare_shard;
+use maxrs_core::sweep::{next_breakpoint_after, solve_rects};
+use maxrs_core::{
+    evaluate_candidates, EngineOptions, ExactMaxRsOptions, ObjectRecord, PreparedDataset,
+    RectRecord, Result as CoreResult, SlabPartition, SpanEvent,
+};
+use maxrs_em::{EmContext, IoSnapshot, TupleFile};
+use maxrs_geometry::{Rect, WeightedPoint};
+
+use crate::protocol::{PassSpec, PieceSet, Request, Response, ShardInfo};
+
+/// One shard hosted by this server.
+struct HostedShard {
+    id: usize,
+    data: PreparedDataset<'static>,
+    prepare_io: IoSnapshot,
+}
+
+/// Hosts shards' prepared datasets and answers cluster sub-queries.
+///
+/// Shards are installed with [`host`](ShardServer::host) (each getting its
+/// own external-memory context, like the single-machine sharded dataset
+/// gives every shard its own device) and served read-only afterwards.
+pub struct ShardServer {
+    opts: EngineOptions,
+    boundaries: Vec<f64>,
+    num_shards: usize,
+    hosted: Vec<HostedShard>,
+}
+
+impl ShardServer {
+    /// Creates a server agreeing on the given global shard `boundaries`
+    /// (interior boundaries, as produced by
+    /// [`select_shard_boundaries`](maxrs_core::select_shard_boundaries) —
+    /// `K - 1` values for a `K`-shard cluster).
+    pub fn new(opts: EngineOptions, boundaries: Vec<f64>) -> Self {
+        let num_shards = boundaries.len() + 1;
+        ShardServer {
+            opts,
+            boundaries,
+            num_shards,
+            hosted: Vec::new(),
+        }
+    }
+
+    /// Prepares and hosts shard `id` from its objects on the simulated
+    /// backend of the server's engine options.
+    pub fn host(&mut self, id: usize, objects: &[WeightedPoint]) -> CoreResult<()> {
+        self.host_inner(id, None, objects)
+    }
+
+    /// Prepares and hosts shard `id` with its block device rooted in
+    /// `directory` (filesystem backend).
+    pub fn host_in(
+        &mut self,
+        id: usize,
+        directory: &Path,
+        objects: &[WeightedPoint],
+    ) -> CoreResult<()> {
+        self.host_inner(id, Some(directory), objects)
+    }
+
+    fn host_inner(
+        &mut self,
+        id: usize,
+        directory: Option<&Path>,
+        objects: &[WeightedPoint],
+    ) -> CoreResult<()> {
+        assert!(
+            id < self.num_shards,
+            "shard id {id} out of range for {} shards",
+            self.num_shards
+        );
+        assert!(
+            !self.hosted.iter().any(|h| h.id == id),
+            "shard {id} already hosted"
+        );
+        let (data, prepare_io) = prepare_shard(self.opts, directory, objects)?;
+        let at = self.hosted.partition_point(|h| h.id < id);
+        self.hosted.insert(
+            at,
+            HostedShard {
+                id,
+                data,
+                prepare_io,
+            },
+        );
+        Ok(())
+    }
+
+    /// The global shard ids hosted here, ascending.
+    pub fn hosted_shards(&self) -> Vec<usize> {
+        self.hosted.iter().map(|h| h.id).collect()
+    }
+
+    /// Answers one protocol request.  Never panics outward on bad input from
+    /// a well-formed message; failures become [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        let before = self.stats_total();
+        match self.dispatch(request) {
+            Ok(resp) => resp.with_io(self.stats_total().delta(&before)),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> CoreResult<Response> {
+        match request {
+            Request::Describe => Ok(self.describe()),
+            Request::Distribute(pass) => self.distribute(pass),
+            Request::Solve { pass, imported } => self.solve(pass, imported),
+            Request::Breakpoint {
+                size,
+                root,
+                after_x,
+                suppressed,
+            } => self.breakpoint(*size, *root, *after_x, suppressed),
+            Request::Evaluate {
+                candidates,
+                diameter,
+            } => self.evaluate(candidates, *diameter),
+            Request::FetchObjects => self.fetch_objects(),
+        }
+    }
+
+    /// Logical transfers across every hosted shard's device.
+    fn stats_total(&self) -> IoSnapshot {
+        self.hosted
+            .iter()
+            .filter_map(|h| h.data.external_parts())
+            .fold(IoSnapshot::default(), |acc, (ctx, _)| acc + ctx.stats())
+    }
+
+    fn hosts(&self, shard: usize) -> bool {
+        self.hosted.iter().any(|h| h.id == shard)
+    }
+
+    fn hosted_ctx(&self, shard: usize) -> &EmContext {
+        self.hosted
+            .iter()
+            .find(|h| h.id == shard)
+            .and_then(|h| h.data.external_parts())
+            .map(|(ctx, _)| ctx)
+            .expect("hosted shards are always external")
+    }
+
+    // ---- handlers -----------------------------------------------------------
+
+    fn describe(&self) -> Response {
+        let backend = self
+            .hosted
+            .first()
+            .and_then(|h| h.data.backend_name())
+            .unwrap_or("")
+            .to_string();
+        Response::Described {
+            boundaries: self.boundaries.clone(),
+            backend,
+            shards: self
+                .hosted
+                .iter()
+                .map(|h| ShardInfo {
+                    shard: h.id as u32,
+                    len: h.data.len(),
+                    prepare_io: h.prepare_io,
+                })
+                .collect(),
+        }
+    }
+
+    /// Round 1: the cropping scan of
+    /// [`ShardedDataset`](maxrs_core::ShardedDataset)'s `distribute_source`,
+    /// run for every hosted engaged source.  Pieces whose owner slab is
+    /// hosted elsewhere are exported; span events always travel to the
+    /// coordinator (they merge on the coordinator's device).  Pieces whose
+    /// owner slab is hosted *here* are dropped — round 2 re-derives them
+    /// with the same one-pass scan, which keeps the server stateless.
+    fn distribute(&self, pass: &PassSpec) -> CoreResult<Response> {
+        let partition = SlabPartition::new(pass.bounds.clone());
+        let mut spans: Vec<(u32, Vec<SpanEvent>)> = Vec::new();
+        let mut exported: BTreeMap<(u32, u32), Vec<RectRecord>> = BTreeMap::new();
+        for h in &self.hosted {
+            if !pass.engaged.contains(&(h.id as u32)) {
+                continue;
+            }
+            let (ctx, file) = h.data.external_parts().expect("shards are external");
+            let filtered = filtered_file(ctx, file, &pass.suppressed)?;
+            let mut events: Vec<SpanEvent> = Vec::new();
+            let scan = (|| -> CoreResult<()> {
+                let mut reader = ctx.open_reader(filtered.file());
+                while let Some(rec) = reader.next_record()? {
+                    let record =
+                        RectRecord::new(rec.0.to_rect(pass.size), pass.weight_scale * rec.0.weight);
+                    let j = partition.locate(record.rect.x_lo);
+                    let k = partition.locate(record.rect.x_hi);
+                    if j == k {
+                        export_piece(&mut exported, self, pass, h.id, j, &record);
+                    } else {
+                        let left = RectRecord::new(
+                            Rect::new(
+                                record.rect.x_lo,
+                                partition.boundaries[j + 1],
+                                record.rect.y_lo,
+                                record.rect.y_hi,
+                            ),
+                            record.weight,
+                        );
+                        export_piece(&mut exported, self, pass, h.id, j, &left);
+                        let right = RectRecord::new(
+                            Rect::new(
+                                partition.boundaries[k],
+                                record.rect.x_hi,
+                                record.rect.y_lo,
+                                record.rect.y_hi,
+                            ),
+                            record.weight,
+                        );
+                        export_piece(&mut exported, self, pass, h.id, k, &right);
+                        if k > j + 1 {
+                            events.extend(SpanEvent::pair(
+                                record.rect.y_lo,
+                                record.rect.y_hi,
+                                record.weight,
+                                (j + 1) as u32,
+                                (k - 1) as u32,
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            filtered.cleanup(ctx)?;
+            scan?;
+            if !events.is_empty() {
+                spans.push((h.id as u32, events));
+            }
+        }
+        Ok(Response::Distributed {
+            spans,
+            exported: exported
+                .into_iter()
+                .map(|((source, slab), rects)| PieceSet {
+                    source,
+                    slab,
+                    rects,
+                })
+                .collect(),
+            io: IoSnapshot::default(),
+        })
+    }
+
+    /// Round 2: re-derive the locally hosted sources' pieces for the global
+    /// slabs owned here, interleave them with the imported pieces in global
+    /// source order (the exact concatenation order of the single-machine
+    /// `solve_slab`), and run the ordinary per-slab recursion.
+    fn solve(&self, pass: &PassSpec, imported: &[PieceSet]) -> CoreResult<Response> {
+        let partition = SlabPartition::new(pass.bounds.clone());
+        let m = partition.num_slabs();
+        let owners: Vec<usize> = pass.owners.iter().map(|&o| o as usize).collect();
+        if owners.len() != m {
+            return Err(maxrs_core::CoreError::InvalidParameter(format!(
+                "pass has {m} slabs but {} owners",
+                owners.len()
+            )));
+        }
+        let owned: Vec<usize> = (0..m).filter(|&t| self.hosts(owners[t])).collect();
+        if owned.is_empty() {
+            return Ok(Response::Solved {
+                slabs: Vec::new(),
+                io: IoSnapshot::default(),
+            });
+        }
+
+        // Pieces of the locally owned slabs, gathered in memory (exactly
+        // like round 1 gathers exports) and keyed `(source, slab)`.
+        // Keeping them in memory — instead of streaming per-source piece
+        // files — gives every shard device a **canonical access sequence**
+        // (scan, combined write, solve) that does not depend on which
+        // sources happen to be co-hosted, which is what keeps the summed
+        // `IoSnapshot` invariant across server topologies.
+        let mut pieces: BTreeMap<(usize, usize), Vec<RectRecord>> = BTreeMap::new();
+        for h in &self.hosted {
+            if !pass.engaged.contains(&(h.id as u32)) {
+                continue;
+            }
+            let (ctx, file) = h.data.external_parts().expect("shards are external");
+            let filtered = filtered_file(ctx, file, &pass.suppressed)?;
+            let scan = (|| -> CoreResult<()> {
+                let mut reader = ctx.open_reader(filtered.file());
+                while let Some(rec) = reader.next_record()? {
+                    let record =
+                        RectRecord::new(rec.0.to_rect(pass.size), pass.weight_scale * rec.0.weight);
+                    let j = partition.locate(record.rect.x_lo);
+                    let k = partition.locate(record.rect.x_hi);
+                    if j == k {
+                        push_owned(self, &owners, &mut pieces, h.id, j, &record);
+                    } else {
+                        let left = RectRecord::new(
+                            Rect::new(
+                                record.rect.x_lo,
+                                partition.boundaries[j + 1],
+                                record.rect.y_lo,
+                                record.rect.y_hi,
+                            ),
+                            record.weight,
+                        );
+                        push_owned(self, &owners, &mut pieces, h.id, j, &left);
+                        let right = RectRecord::new(
+                            Rect::new(
+                                partition.boundaries[k],
+                                record.rect.x_hi,
+                                record.rect.y_lo,
+                                record.rect.y_hi,
+                            ),
+                            record.weight,
+                        );
+                        push_owned(self, &owners, &mut pieces, h.id, k, &right);
+                    }
+                }
+                Ok(())
+            })();
+            filtered.cleanup(ctx)?;
+            scan?;
+        }
+
+        // Merge the imported piece sets.  The keys cannot collide with the
+        // local ones: a source is exported only by a server that does not
+        // host this slab's owner, and `pieces` only holds sources hosted
+        // here.
+        for ps in imported {
+            let (source, t) = (ps.source as usize, ps.slab as usize);
+            if t >= m || !self.hosts(owners[t]) {
+                return Err(maxrs_core::CoreError::InvalidParameter(format!(
+                    "imported piece set routed to a non-owned slab {t}"
+                )));
+            }
+            pieces.insert((source, t), ps.rects.clone());
+        }
+
+        let mut out = Vec::with_capacity(owned.len());
+        for &t in &owned {
+            let ctx = self.hosted_ctx(owners[t]);
+            let mut writer = ctx.create_writer::<RectRecord>()?;
+            for source in 0..self.num_shards {
+                if let Some(rects) = pieces.get(&(source, t)) {
+                    for rec in rects {
+                        writer.push(rec)?;
+                    }
+                }
+            }
+            let rects = writer.finish()?;
+            let opts = ExactMaxRsOptions {
+                parallelism: 1,
+                ..self.opts.exact
+            };
+            let solved = solve_rects(ctx, &opts, rects, partition.slab(t), false, 1)?;
+            let tuples = ctx.read_all(&solved)?;
+            ctx.delete_file(solved)?;
+            out.push((t as u32, tuples));
+        }
+        Ok(Response::Solved {
+            slabs: out,
+            io: IoSnapshot::default(),
+        })
+    }
+
+    /// The per-server half of min-next-breakpoint canonicalization: the
+    /// minimum of [`next_breakpoint_after`] over every hosted shard (the
+    /// coordinator takes the minimum across servers, which together is
+    /// exactly the all-shards loop of the single-machine canonicalize).
+    fn breakpoint(
+        &self,
+        size: maxrs_geometry::RectSize,
+        root: maxrs_geometry::Interval,
+        after_x: f64,
+        suppressed: &[Rect],
+    ) -> CoreResult<Response> {
+        let mut hi = f64::INFINITY;
+        for h in &self.hosted {
+            let (ctx, file) = h.data.external_parts().expect("shards are external");
+            let filtered = filtered_file(ctx, file, suppressed)?;
+            let scanned = next_breakpoint_after(ctx, filtered.file(), size, root, after_x);
+            filtered.cleanup(ctx)?;
+            hi = hi.min(scanned?);
+        }
+        Ok(Response::Breakpoint {
+            hi,
+            io: IoSnapshot::default(),
+        })
+    }
+
+    /// ApproxMaxCRS refinement scan: per hosted shard, the candidates'
+    /// open-disk weight sums over the **full** object file (refinement never
+    /// sees top-k suppression, mirroring the single-machine `refine_crs`).
+    fn evaluate(
+        &self,
+        candidates: &[maxrs_geometry::Point],
+        diameter: f64,
+    ) -> CoreResult<Response> {
+        let mut sums = Vec::with_capacity(self.hosted.len());
+        for h in &self.hosted {
+            let (ctx, file) = h.data.external_parts().expect("shards are external");
+            sums.push((
+                h.id as u32,
+                evaluate_candidates(ctx, file, candidates, diameter)?,
+            ));
+        }
+        Ok(Response::Evaluated {
+            sums,
+            io: IoSnapshot::default(),
+        })
+    }
+
+    fn fetch_objects(&self) -> CoreResult<Response> {
+        let mut objects = Vec::with_capacity(self.hosted.len());
+        for h in &self.hosted {
+            let (ctx, file) = h.data.external_parts().expect("shards are external");
+            objects.push((h.id as u32, ctx.read_all(file)?));
+        }
+        Ok(Response::Objects {
+            objects,
+            io: IoSnapshot::default(),
+        })
+    }
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("num_shards", &self.num_shards)
+            .field("hosted", &self.hosted_shards())
+            .finish()
+    }
+}
+
+/// Exports a cropped piece when its owner slab is hosted on another server;
+/// locally-owned pieces are regenerated in round 2 instead.
+fn export_piece(
+    exported: &mut BTreeMap<(u32, u32), Vec<RectRecord>>,
+    server: &ShardServer,
+    pass: &PassSpec,
+    source: usize,
+    t: usize,
+    record: &RectRecord,
+) {
+    let owner = pass
+        .owners
+        .get(t)
+        .map(|&o| o as usize)
+        .unwrap_or(usize::MAX);
+    if !server.hosts(owner) {
+        exported
+            .entry((source as u32, t as u32))
+            .or_default()
+            .push(*record);
+    }
+}
+
+/// Collects a piece of a locally-owned global slab; pieces of slabs owned
+/// elsewhere are dropped (they were exported in round 1).
+fn push_owned(
+    server: &ShardServer,
+    owners: &[usize],
+    pieces: &mut BTreeMap<(usize, usize), Vec<RectRecord>>,
+    source: usize,
+    t: usize,
+    record: &RectRecord,
+) {
+    if server.hosts(owners[t]) {
+        pieces.entry((source, t)).or_default().push(*record);
+    }
+}
+
+/// An object file with the top-k suppression filter applied: borrowed when
+/// no suppression is active, a materialized temporary otherwise.
+enum Filtered<'a> {
+    Borrowed(&'a TupleFile<ObjectRecord>),
+    Owned(TupleFile<ObjectRecord>),
+}
+
+impl<'a> Filtered<'a> {
+    fn file(&self) -> &TupleFile<ObjectRecord> {
+        match self {
+            Filtered::Borrowed(f) => f,
+            Filtered::Owned(f) => f,
+        }
+    }
+
+    fn cleanup(self, ctx: &EmContext) -> CoreResult<()> {
+        if let Filtered::Owned(f) = self {
+            ctx.delete_file(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies the suppression filter exactly like the single-machine top-k
+/// rounds: an object strictly inside any chosen rectangle is removed, order
+/// preserved.
+fn filtered_file<'a>(
+    ctx: &EmContext,
+    file: &'a TupleFile<ObjectRecord>,
+    suppressed: &[Rect],
+) -> CoreResult<Filtered<'a>> {
+    if suppressed.is_empty() {
+        return Ok(Filtered::Borrowed(file));
+    }
+    let filtered = ctx.filter_map_file(file, |rec: ObjectRecord| {
+        if suppressed.iter().any(|r| r.contains_open(&rec.0.point)) {
+            None
+        } else {
+            Some(rec)
+        }
+    })?;
+    Ok(Filtered::Owned(filtered))
+}

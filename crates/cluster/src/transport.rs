@@ -1,0 +1,311 @@
+//! Pluggable request/reply transports.
+//!
+//! * [`InProcessTransport`] — calls a [`ShardServer`] directly.  Fully
+//!   deterministic (no sockets, no clocks), the transport the determinism
+//!   suite and doc-tests run on.
+//! * [`TcpTransport`] / [`serve_tcp`] — real `std::net` TCP with 4-byte
+//!   big-endian length-prefixed frames around the hand-rolled wire encoding
+//!   of [`crate::protocol`].  One connection per request keeps retries safe
+//!   (a retried request can never read a stale reply off a half-dead
+//!   connection).
+//! * [`FaultInjectedTransport`] — wraps any transport and fails a
+//!   configurable number of leading calls, for deterministic
+//!   retry/health-state tests without real network faults.
+//!
+//! Transports perform **one attempt** per [`Transport::call`]; the
+//! [`ClusterCoordinator`](crate::ClusterCoordinator) owns timeouts, retries
+//! and backoff policy.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::protocol::{Request, Response};
+use crate::server::ShardServer;
+
+/// Upper bound on a single frame; anything larger is treated as a protocol
+/// error rather than an allocation request.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// A synchronous request/reply channel to one shard server.
+///
+/// `call` performs **one attempt** bounded by `timeout` and never blocks
+/// longer than (a small multiple of) it; retry policy lives in the
+/// coordinator.
+pub trait Transport: Send + Sync {
+    /// Name of the remote server (used in error messages and health
+    /// reports).
+    fn name(&self) -> &str;
+
+    /// Performs one request attempt.
+    fn call(&self, request: &Request, timeout: Duration) -> Result<Response, TransportError>;
+}
+
+// ---- in-process -------------------------------------------------------------
+
+/// Directly invokes a [`ShardServer`] in this process — deterministic and
+/// clock-free.
+pub struct InProcessTransport {
+    name: String,
+    server: Arc<ShardServer>,
+}
+
+impl InProcessTransport {
+    /// Wraps a server behind a named in-process channel.
+    pub fn new(name: impl Into<String>, server: Arc<ShardServer>) -> Self {
+        InProcessTransport {
+            name: name.into(),
+            server,
+        }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, request: &Request, _timeout: Duration) -> Result<Response, TransportError> {
+        Ok(self.server.handle(request))
+    }
+}
+
+// ---- TCP --------------------------------------------------------------------
+
+/// TCP client transport: one connection per request, length-prefixed frames.
+pub struct TcpTransport {
+    name: String,
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Creates a client for the given server address.
+    pub fn new(name: impl Into<String>, addr: SocketAddr) -> Self {
+        TcpTransport {
+            name: name.into(),
+            addr,
+        }
+    }
+
+    /// Resolves `addr` (e.g. `"127.0.0.1:7400"`) and creates a client for
+    /// its first resolution.
+    pub fn resolve(name: impl Into<String>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
+        })?;
+        Ok(TcpTransport::new(name, addr))
+    }
+}
+
+fn io_to_transport(e: std::io::Error, timeout: Duration) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => TransportError::Timeout {
+            millis: timeout.as_millis() as u64,
+        },
+        _ => TransportError::Unavailable {
+            detail: e.to_string(),
+        },
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, request: &Request, timeout: Duration) -> Result<Response, TransportError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, timeout)
+            .map_err(|e| io_to_transport(e, timeout))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| io_to_transport(e, timeout))?;
+        write_frame(&mut stream, &request.encode()).map_err(|e| io_to_transport(e, timeout))?;
+        let payload = read_frame(&mut stream).map_err(|e| io_to_transport(e, timeout))?;
+        Response::decode(&payload).map_err(|e| TransportError::Protocol {
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// A running TCP shard server: accept loop plus one thread per connection.
+///
+/// Shutting down (explicitly or on drop) stops accepting and unblocks the
+/// accept loop; in-flight connections die with their sockets.
+pub struct TcpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// The bound address (useful with a `:0` ephemeral bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves a [`ShardServer`] over TCP on `addr` (`"127.0.0.1:0"` binds an
+/// ephemeral loopback port).  Each connection handles any number of
+/// framed requests sequentially; the client side here sends one per
+/// connection.
+pub fn serve_tcp(
+    server: Arc<ShardServer>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<TcpServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || handle_connection(server, stream));
+        }
+    });
+    Ok(TcpServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn handle_connection(server: Arc<ShardServer>, mut stream: TcpStream) {
+    loop {
+        let Ok(payload) = read_frame(&mut stream) else {
+            return; // EOF or broken pipe: the client is done.
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => server.handle(&request),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+// ---- fault injection --------------------------------------------------------
+
+/// The failure a [`FaultInjectedTransport`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The attempt reports the server unreachable.
+    Unavailable,
+    /// The attempt reports a timeout (without actually sleeping, keeping
+    /// fault tests fast and deterministic).
+    Timeout,
+}
+
+/// Wraps a transport and fails its first `failures` calls (or all calls),
+/// for deterministic retry, backoff and health-state tests.
+pub struct FaultInjectedTransport<T> {
+    inner: T,
+    remaining: AtomicU32,
+    fault: InjectedFault,
+    calls: AtomicU64,
+}
+
+impl<T: Transport> FaultInjectedTransport<T> {
+    /// Fails the first `failures` calls with `fault`, then passes through.
+    pub fn failing(inner: T, failures: u32, fault: InjectedFault) -> Self {
+        FaultInjectedTransport {
+            inner,
+            remaining: AtomicU32::new(failures),
+            fault,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Fails every call with `fault` — a permanently dead server.
+    pub fn failing_forever(inner: T, fault: InjectedFault) -> Self {
+        Self::failing(inner, u32::MAX, fault)
+    }
+
+    /// Total attempts observed (including injected failures).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl<T: Transport> Transport for FaultInjectedTransport<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn call(&self, request: &Request, timeout: Duration) -> Result<Response, TransportError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let fail = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| {
+                if r == 0 {
+                    None
+                } else if r == u32::MAX {
+                    Some(r)
+                } else {
+                    Some(r - 1)
+                }
+            })
+            .is_ok();
+        if fail {
+            return Err(match self.fault {
+                InjectedFault::Unavailable => TransportError::Unavailable {
+                    detail: "injected fault".to_string(),
+                },
+                InjectedFault::Timeout => TransportError::Timeout {
+                    millis: timeout.as_millis() as u64,
+                },
+            });
+        }
+        self.inner.call(request, timeout)
+    }
+}

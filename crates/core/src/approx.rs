@@ -175,7 +175,7 @@ pub fn approx_max_crs_in_memory(
 }
 
 /// Picks the best-scoring candidate (last on ties, matching `max_by`).
-pub(crate) fn best_candidate(candidates: &[Point], weights: &[f64]) -> MaxCrsResult {
+pub fn best_candidate(candidates: &[Point], weights: &[f64]) -> MaxCrsResult {
     let (best_idx, best_weight) = weights
         .iter()
         .copied()
@@ -246,7 +246,7 @@ pub fn candidate_points(p0: Point, diameter: f64, sigma_fraction: f64) -> [Point
 
 /// Evaluates the (open-disk) circular range sum of every candidate with a
 /// single sequential scan of the object file.
-pub(crate) fn evaluate_candidates(
+pub fn evaluate_candidates(
     ctx: &EmContext,
     objects: &TupleFile<ObjectRecord>,
     candidates: &[Point],

@@ -26,7 +26,7 @@ use crate::result::MaxRsResult;
 /// x-interval, the domain-clipped y-strip, and whether it came from a tuple
 /// (a sweep cell — which the external path must widen back to a full
 /// arrangement cell) or from the implicit whole-slab strip.
-pub(crate) type MinStrip = (f64, Interval, Interval, bool);
+pub type MinStrip = (f64, Interval, Interval, bool);
 
 /// The MinRS strip scan, shared by [`min_rs_in_memory`] and the engine's
 /// external MinRS path so the two can never diverge: walk a y-sorted stream
@@ -35,7 +35,7 @@ pub(crate) type MinStrip = (f64, Interval, Interval, bool);
 /// — clip each to the domain's y-range, keep only strips of positive height
 /// (interior points must achieve the reported weight), and pick the first
 /// strictly-best one.
-pub(crate) fn min_strip_scan<I>(tuples: I, slab: Interval, domain: Rect) -> Result<Option<MinStrip>>
+pub fn min_strip_scan<I>(tuples: I, slab: Interval, domain: Rect) -> Result<Option<MinStrip>>
 where
     I: IntoIterator<Item = Result<SlabTuple>>,
 {

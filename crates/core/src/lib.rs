@@ -121,8 +121,8 @@ pub mod sweep;
 
 pub use approx::approx_max_crs_presorted;
 pub use approx::{
-    approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, candidate_points,
-    ApproxMaxCrsOptions, SIGMA_FRACTION_LO,
+    approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, best_candidate,
+    candidate_points, evaluate_candidates, ApproxMaxCrsOptions, SIGMA_FRACTION_LO,
 };
 pub use batch::QueryBatch;
 pub use crs_exact::{closed_disk_weight, exact_max_crs_in_memory};
@@ -135,7 +135,9 @@ pub use events::{
 pub use exact::{
     exact_max_rs, exact_max_rs_from_objects, load_objects, sort_objects_by_x, ExactMaxRsOptions,
 };
-pub use extensions::{max_k_rs_in_memory, min_range_sum, min_rs_in_memory};
+pub use extensions::{
+    max_k_rs_in_memory, min_range_sum, min_rs_in_memory, min_strip_scan, MinStrip,
+};
 pub use grid::{grid_cell, UniformGrid, GRID_CELL_LIMIT};
 pub use merge_sweep::{merge_sweep, merge_sweep_tree};
 pub use parallel::{available_parallelism, parallel_map};
@@ -148,9 +150,9 @@ pub use records::{ObjectRecord, RectRecord, SlabTuple, SpanEvent};
 pub use reference::{brute_force_max_crs, brute_force_max_rs, circle_objective, rect_objective};
 pub use result::{MaxCrsResult, MaxRsResult};
 pub use segment_tree::SegmentTree;
-pub use shard::{ShardLayout, ShardedDataset};
+pub use shard::{prepare_shard, select_shard_boundaries, shard_slab, ShardLayout, ShardedDataset};
 pub use slab::{compute_partition, distribute, BoundarySource, Distribution, SlabPartition};
 pub use sweep::{
-    next_breakpoint_after, transform_to_rect_file, transform_to_scaled_rect_file, InputOrder,
-    SweepPass,
+    extract_best, next_breakpoint_after, solve_rects, transform_to_rect_file,
+    transform_to_scaled_rect_file, InputOrder, SweepPass,
 };

@@ -248,7 +248,7 @@ impl PreparedDataset<'_> {
     /// or `None` for an in-memory one.  The sharded layer ([`crate::shard`])
     /// drives its per-shard passes through this instead of `run_planned`, so
     /// that one global sweep can span every shard's file.
-    pub(crate) fn external_parts(&self) -> Option<(&EmContext, &TupleFile<ObjectRecord>)> {
+    pub fn external_parts(&self) -> Option<(&EmContext, &TupleFile<ObjectRecord>)> {
         match &self.source {
             Source::Memory(_) => None,
             Source::External { ctx, sorted } => {

@@ -207,7 +207,7 @@ impl ShardedDataset {
     ) -> Result<ShardedDataset> {
         let opts = *engine.options();
         let k = layout.shards.max(1);
-        let boundaries = select_boundaries(objects, k, layout.boundary_sample);
+        let boundaries = select_shard_boundaries(objects, k, layout.boundary_sample);
         let num = boundaries.len() + 1;
 
         // Route each object to its shard: x on a boundary goes right,
@@ -296,6 +296,17 @@ impl ShardedDataset {
     /// Estimated resident bytes: the retained sorted files of all shards.
     pub fn resident_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.data.resident_bytes()).sum()
+    }
+
+    /// Per-shard resident bytes, in x-order — the terms
+    /// [`resident_bytes`](ShardedDataset::resident_bytes) sums, exposed so
+    /// cache accounting (e.g. the serving registry's memory budget) can be
+    /// audited shard by shard.
+    pub fn resident_bytes_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.data.resident_bytes())
+            .collect()
     }
 
     /// How many shards `query` routes to: the shards whose objects'
@@ -1122,21 +1133,41 @@ fn push_piece<'a>(
     Ok(())
 }
 
-/// Builds one shard: its own context (optionally on a dedicated directory),
-/// load, external x-sort, flush — the per-shard body of
-/// [`MaxRsEngine::prepare`], measured identically (loading excluded).
+/// Builds one shard of a [`ShardedDataset`], resolving its directory from
+/// the layout's round-robin assignment.
 fn build_shard(
     opts: EngineOptions,
     layout: &ShardLayout,
     index: usize,
     objects: &[WeightedPoint],
 ) -> Result<(PreparedDataset<'static>, IoSnapshot)> {
-    let ctx = if layout.directories.is_empty() {
-        Box::new(EmContext::new(opts.em_config))
+    let dir = if layout.directories.is_empty() {
+        None
     } else {
-        let dir = &layout.directories[index % layout.directories.len()];
-        let disk = FsDisk::new_in(dir, opts.em_config.block_size)?;
-        Box::new(EmContext::with_device(opts.em_config, Box::new(disk)))
+        Some(layout.directories[index % layout.directories.len()].as_path())
+    };
+    prepare_shard(opts, dir, objects)
+}
+
+/// Prepares one shard on its own context (optionally on a dedicated
+/// directory): load, external x-sort, flush — the per-shard body of
+/// [`MaxRsEngine::prepare`], measured identically (loading excluded).  The
+/// shard is always stored externally, so its
+/// [`external_parts`](PreparedDataset::external_parts) are available to
+/// sweep machinery spanning several shards — this is the building block both
+/// [`ShardedDataset`] and the remote shard servers of `maxrs-cluster` build
+/// their shards with.
+pub fn prepare_shard(
+    opts: EngineOptions,
+    directory: Option<&std::path::Path>,
+    objects: &[WeightedPoint],
+) -> Result<(PreparedDataset<'static>, IoSnapshot)> {
+    let ctx = match directory {
+        None => Box::new(EmContext::new(opts.em_config)),
+        Some(dir) => {
+            let disk = FsDisk::new_in(dir, opts.em_config.block_size)?;
+            Box::new(EmContext::with_device(opts.em_config, Box::new(disk)))
+        }
     };
     let raw = load_objects(&ctx, objects)?;
     let before = ctx.stats();
@@ -1150,8 +1181,11 @@ fn build_shard(
     ))
 }
 
-/// The x-interval shard `i` owns, given the interior boundaries.
-fn shard_slab(boundaries: &[f64], i: usize) -> Interval {
+/// The x-interval shard `i` owns, given the interior boundaries: shard 0
+/// owns `(-∞, b₁)`, the last shard `[b_{K-1}, +∞)`, and objects exactly on a
+/// boundary belong to the shard on its right (mirroring
+/// [`SlabPartition::locate`]).
+pub fn shard_slab(boundaries: &[f64], i: usize) -> Interval {
     let lo = if i == 0 {
         f64::NEG_INFINITY
     } else {
@@ -1170,8 +1204,9 @@ fn shard_slab(boundaries: &[f64], i: usize) -> Interval {
 /// object counts even on skewed inputs.  Datasets within the sampling cap
 /// are quantiled exactly; larger ones go through the same xorshift reservoir
 /// idiom as [`compute_partition`](crate::slab::compute_partition), so the
-/// result is a pure function of the input.
-fn select_boundaries(objects: &[WeightedPoint], k: usize, sample_cap: usize) -> Vec<f64> {
+/// result is a pure function of the input.  Shared by [`ShardedDataset`] and
+/// the cluster layer, so a remote partition splits exactly like a local one.
+pub fn select_shard_boundaries(objects: &[WeightedPoint], k: usize, sample_cap: usize) -> Vec<f64> {
     if k <= 1 || objects.len() < 2 {
         return Vec::new();
     }

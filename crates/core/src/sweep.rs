@@ -321,7 +321,7 @@ pub fn next_breakpoint_after(
 /// layer ([`crate::shard`]), which runs one such solve per shard and then
 /// combines the shard slab-files through the same span-event MergeSweep the
 /// recursion itself uses.
-pub(crate) fn solve_rects(
+pub fn solve_rects(
     ctx: &EmContext,
     opts: &ExactMaxRsOptions,
     rects: TupleFile<RectRecord>,
@@ -525,10 +525,7 @@ impl<'a> Runner<'a> {
 }
 
 /// Scans the final slab-file for the best tuple and converts it into a result.
-pub(crate) fn extract_best(
-    ctx: &EmContext,
-    slab_file: &TupleFile<SlabTuple>,
-) -> Result<MaxRsResult> {
+pub fn extract_best(ctx: &EmContext, slab_file: &TupleFile<SlabTuple>) -> Result<MaxRsResult> {
     let mut reader = ctx.open_reader(slab_file);
     let mut best: Option<SlabTuple> = None;
     let mut best_next_y: Option<f64> = None;

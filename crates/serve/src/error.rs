@@ -1,5 +1,6 @@
 //! Error type of the serving layer.
 
+use maxrs_cluster::ClusterError;
 use maxrs_core::CoreError;
 
 /// Errors raised by the serving layer — admission control, dataset lookup and
@@ -22,6 +23,13 @@ pub enum ServeError {
     /// [`DatasetRegistry::insert_dynamic`](crate::DatasetRegistry::insert_dynamic)
     /// carry a delta and accept [`apply`](crate::DatasetRegistry::apply).
     StaticDataset(String),
+    /// A query against a cluster entry (registered via
+    /// [`DatasetRegistry::insert_cluster`](crate::DatasetRegistry::insert_cluster))
+    /// failed in the cluster layer —
+    /// an unreachable shard server, a protocol violation, or a remote
+    /// execution failure.  The typed [`ClusterError`] names the server (and
+    /// its shards) so operators can tell a dead node from a bad query.
+    Cluster(ClusterError),
     /// The query (or the server/registry configuration) was rejected before
     /// admission — typically a [`CoreError::InvalidParameter`] from
     /// [`Query::validate`](maxrs_core::Query::validate), or a preparation
@@ -49,6 +57,7 @@ impl std::fmt::Display for ServeError {
                 f,
                 "dataset {id:?} is static: register it with insert_dynamic to apply events"
             ),
+            ServeError::Cluster(e) => write!(f, "cluster error: {e}"),
             ServeError::Core(e) => write!(f, "core error: {e}"),
             ServeError::Execution(msg) => write!(f, "batch execution failed: {msg}"),
             ServeError::ChannelClosed => {
@@ -62,6 +71,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Core(e) => Some(e),
+            ServeError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +80,12 @@ impl std::error::Error for ServeError {
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        ServeError::Cluster(e)
     }
 }
 

@@ -15,10 +15,15 @@
 //! The RAII drop of [`PreparedDataset`] then deletes the retained blocks, so
 //! a registry churning through datasets never leaks disk space.
 //!
-//! Entries come in two serving shapes (see [`ServedDataset`]): plain prepared
-//! datasets ([`DatasetRegistry::insert`]) and sharded ones
-//! ([`DatasetRegistry::insert_sharded`]), whose preparation runs shard-parallel
-//! and whose shards can live on dedicated directories/devices.
+//! Entries come in three serving shapes (see [`ServedDataset`]): plain
+//! prepared datasets ([`DatasetRegistry::insert`]), sharded ones
+//! ([`DatasetRegistry::insert_sharded`]), whose preparation runs
+//! shard-parallel and whose shards can live on dedicated
+//! directories/devices, and **cluster** entries
+//! ([`DatasetRegistry::insert_cluster`]) fronting a
+//! [`ClusterCoordinator`] whose shards live on remote servers.  Cluster
+//! entries charge nothing against the memory budget — their data is
+//! resident on the remote servers, not in this process.
 //!
 //! # Dynamic datasets
 //!
@@ -34,6 +39,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use maxrs_cluster::ClusterCoordinator;
 use maxrs_core::{
     DeltaDataset, DeltaOptions, Event, MaxRsEngine, PreparedDataset, Query, QueryBatch, QueryRun,
     ShardLayout, ShardedDataset,
@@ -48,40 +54,48 @@ use crate::error::{Result, ServeError};
 /// (and its retained sorted files) lives until the last handle drops.
 pub type DatasetHandle = Arc<ServedDataset>;
 
-/// What a registry entry serves: an unsharded [`PreparedDataset`] or a
+/// What a registry entry serves: an unsharded [`PreparedDataset`], a
 /// [`ShardedDataset`] whose shards were prepared concurrently (and may live
-/// on dedicated devices).  Both answer every [`Query`] variant bit-identically
-/// through the same interface, so the batching executor treats them uniformly.
+/// on dedicated devices), or a [`ClusterCoordinator`] whose shards live on
+/// remote servers behind a transport.  All three answer every [`Query`]
+/// variant bit-identically through the same interface, so the batching
+/// executor treats them uniformly.
 #[derive(Debug)]
 pub enum ServedDataset {
     /// A single prepared dataset (one sorted file, one device).
     Prepared(PreparedDataset<'static>),
     /// An x-sharded dataset ([`MaxRsEngine::prepare_sharded`]).
     Sharded(ShardedDataset),
+    /// A multi-node cluster of shard servers
+    /// ([`maxrs_cluster::ClusterCoordinator`]).
+    Cluster(ClusterCoordinator),
 }
 
 impl ServedDataset {
     /// Answers one query.
-    pub fn run(&self, query: &Query) -> maxrs_core::Result<QueryRun> {
+    pub fn run(&self, query: &Query) -> Result<QueryRun> {
         match self {
-            ServedDataset::Prepared(d) => d.run(query),
-            ServedDataset::Sharded(d) => d.run(query),
+            ServedDataset::Prepared(d) => Ok(d.run(query)?),
+            ServedDataset::Sharded(d) => Ok(d.run(query)?),
+            ServedDataset::Cluster(d) => Ok(d.run(query)?),
         }
     }
 
     /// Plans and answers a batch of queries in shared sweep passes.
-    pub fn run_batch(&self, queries: &[Query]) -> maxrs_core::Result<Vec<QueryRun>> {
+    pub fn run_batch(&self, queries: &[Query]) -> Result<Vec<QueryRun>> {
         match self {
-            ServedDataset::Prepared(d) => d.run_batch(queries),
-            ServedDataset::Sharded(d) => d.run_batch(queries),
+            ServedDataset::Prepared(d) => Ok(d.run_batch(queries)?),
+            ServedDataset::Sharded(d) => Ok(d.run_batch(queries)?),
+            ServedDataset::Cluster(d) => Ok(d.run_batch(queries)?),
         }
     }
 
     /// Executes an already planned batch.
-    pub fn run_planned(&self, batch: &QueryBatch) -> maxrs_core::Result<Vec<QueryRun>> {
+    pub fn run_planned(&self, batch: &QueryBatch) -> Result<Vec<QueryRun>> {
         match self {
-            ServedDataset::Prepared(d) => d.run_planned(batch),
-            ServedDataset::Sharded(d) => d.run_planned(batch),
+            ServedDataset::Prepared(d) => Ok(d.run_planned(batch)?),
+            ServedDataset::Sharded(d) => Ok(d.run_planned(batch)?),
+            ServedDataset::Cluster(d) => Ok(d.run_planned(batch)?),
         }
     }
 
@@ -90,6 +104,7 @@ impl ServedDataset {
         match self {
             ServedDataset::Prepared(d) => d.len(),
             ServedDataset::Sharded(d) => d.len(),
+            ServedDataset::Cluster(d) => d.len(),
         }
     }
 
@@ -98,47 +113,60 @@ impl ServedDataset {
         self.len() == 0
     }
 
-    /// Estimated retained bytes (summed over shards when sharded) — the
-    /// quantity the registry's memory budget bounds.
+    /// Estimated retained bytes **in this process** (summed over shards when
+    /// sharded) — the quantity the registry's memory budget bounds.  Cluster
+    /// entries report 0: their shard data is resident on the remote servers,
+    /// so caching the coordinator costs this process nothing the budget
+    /// should account for.
     pub fn resident_bytes(&self) -> u64 {
         match self {
             ServedDataset::Prepared(d) => d.resident_bytes(),
             ServedDataset::Sharded(d) => d.resident_bytes(),
+            ServedDataset::Cluster(_) => 0,
         }
     }
 
     /// Blocks transferred by the one-time preparation (summed over shards
-    /// when sharded).
+    /// when sharded or clustered).
     pub fn prepare_io(&self) -> IoSnapshot {
         match self {
             ServedDataset::Prepared(d) => d.prepare_io(),
             ServedDataset::Sharded(d) => d.prepare_io(),
+            ServedDataset::Cluster(d) => d.prepare_io(),
         }
     }
 
-    /// `true` when the dataset is stored externally (sharded datasets always
-    /// are; a prepared dataset may have stayed in memory).
+    /// `true` when the dataset is stored externally (sharded and cluster
+    /// datasets always are; a prepared dataset may have stayed in memory).
     pub fn is_external(&self) -> bool {
         match self {
             ServedDataset::Prepared(d) => d.is_external(),
-            ServedDataset::Sharded(_) => true,
+            ServedDataset::Sharded(_) | ServedDataset::Cluster(_) => true,
         }
     }
 
     /// Storage-backend name of the dataset's context, when it has one
-    /// (`None` for a prepared dataset that stayed fully in memory).
+    /// (`None` for a prepared dataset that stayed fully in memory; for
+    /// clusters, the backend the remote servers reported at handshake when
+    /// it is one of the known names).
     pub fn backend_name(&self) -> Option<&'static str> {
         match self {
             ServedDataset::Prepared(d) => d.backend_name(),
             ServedDataset::Sharded(d) => Some(d.backend_name()),
+            ServedDataset::Cluster(d) => match d.backend_name() {
+                "sim" => Some("sim"),
+                "fs" => Some("fs"),
+                _ => None,
+            },
         }
     }
 
-    /// Number of shards serving this dataset: 1 unless sharded.
+    /// Number of shards serving this dataset: 1 unless sharded or clustered.
     pub fn num_shards(&self) -> usize {
         match self {
             ServedDataset::Prepared(_) => 1,
             ServedDataset::Sharded(d) => d.num_shards(),
+            ServedDataset::Cluster(d) => d.num_shards(),
         }
     }
 }
@@ -253,6 +281,19 @@ impl DatasetRegistry {
             self.engine.prepare_sharded(objects, layout)?,
         ));
         self.install(id, sharded, None)
+    }
+
+    /// Caches an already-connected [`ClusterCoordinator`] under `id`, so a
+    /// multi-node cluster serves behind the same [`DatasetHandle`] interface
+    /// (and through [`MaxRsServer`](crate::MaxRsServer)'s batching executor)
+    /// as local datasets.  Cluster entries charge **0 bytes** against the
+    /// registry's memory budget: the shard data is resident on the remote
+    /// servers, not in this process, so a cluster entry is never the reason
+    /// an LRU eviction fires — and is itself evicted only by replacement or
+    /// [`evict`](DatasetRegistry::evict).
+    pub fn insert_cluster(&self, id: &str, cluster: ClusterCoordinator) -> Result<DatasetHandle> {
+        let served: DatasetHandle = Arc::new(ServedDataset::Cluster(cluster));
+        self.install(id, served, None)
     }
 
     /// Registers a **dynamic** dataset under `id`: a [`DeltaDataset`] seeded
@@ -552,6 +593,42 @@ mod tests {
         }
         // Sharded entries are static: no update path.
         assert!(!registry.is_dynamic("sharded"));
+    }
+
+    #[test]
+    fn sharded_entries_are_accounted_as_the_sum_of_their_shards() {
+        let engine = external_engine();
+        let data = objects(1200, 11);
+        let sharded = engine
+            .prepare_sharded(&data, &maxrs_core::ShardLayout::new(4))
+            .unwrap();
+        let per_shard = sharded.resident_bytes_per_shard();
+        assert_eq!(per_shard.len(), 4);
+        assert!(per_shard.iter().all(|&b| b > 0), "every shard retains data");
+        let expected: u64 = per_shard.iter().sum();
+        assert_eq!(sharded.resident_bytes(), expected);
+
+        // The registry charges exactly that sum against its budget…
+        let registry = DatasetRegistry::new(external_engine());
+        registry
+            .insert_sharded("s", &data, &maxrs_core::ShardLayout::new(4))
+            .unwrap();
+        assert_eq!(registry.resident_bytes(), expected);
+        // …and releases exactly it on eviction.
+        assert!(registry.evict("s"));
+        assert_eq!(registry.resident_bytes(), 0);
+
+        // A budget below the summed footprint treats the sharded entry as
+        // oversized (kept while newest, evicted by the next insert), proving
+        // eviction decisions see the whole dataset, not one shard.
+        let registry = DatasetRegistry::with_budget(external_engine(), expected - 1);
+        registry
+            .insert_sharded("s", &data, &maxrs_core::ShardLayout::new(4))
+            .unwrap();
+        assert!(registry.contains("s"));
+        registry.insert("tiny", &objects(50, 12)).unwrap();
+        assert!(!registry.contains("s"), "oversized sharded entry evicted");
+        assert!(registry.contains("tiny"));
     }
 
     #[test]

@@ -399,10 +399,13 @@ fn execute_batch(batch: Vec<Request>) -> (Vec<Reply>, u64) {
         let queries: Vec<Query> = members.iter().map(|m| m.query).collect();
         // Queries were validated at submission, so planning cannot fail on
         // them; treat a failure as an execution error for the whole partition.
-        let outcome = QueryBatch::new(&queries).and_then(|planned| {
-            groups += planned.num_groups() as u64;
-            dataset.run_planned(&planned)
-        });
+        let outcome = match QueryBatch::new(&queries) {
+            Ok(planned) => {
+                groups += planned.num_groups() as u64;
+                dataset.run_planned(&planned)
+            }
+            Err(e) => Err(e.into()),
+        };
         match outcome {
             Ok(runs) => {
                 for (member, run) in members.into_iter().zip(runs) {

@@ -21,6 +21,11 @@
 //! * [`serve`] — the concurrent serving layer: [`DatasetRegistry`] caching
 //!   prepared datasets under a memory budget, and [`MaxRsServer`] micro-
 //!   batching concurrent clients' queries into shared sweep passes.
+//! * [`cluster`] — multi-node shard serving: [`ShardServer`]s hosting the
+//!   shards of one x-partition behind a pluggable transport (in-process or
+//!   real TCP), and a [`ClusterCoordinator`] fanning sub-queries out and
+//!   merging partial results bit-identically, with timeouts, retries and
+//!   per-server health tracking.
 //! * [`baselines`] — the externalized plane-sweep baselines (Naïve and
 //!   aSB-tree) the paper compares against.
 //!
@@ -58,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub use maxrs_baselines as baselines;
+pub use maxrs_cluster as cluster;
 pub use maxrs_core as core;
 pub use maxrs_datagen as datagen;
 pub use maxrs_em as em;
@@ -65,6 +71,10 @@ pub use maxrs_geometry as geometry;
 pub use maxrs_serve as serve;
 pub use maxrs_stream as stream;
 
+pub use maxrs_cluster::{
+    ClusterConfig, ClusterCoordinator, ClusterError, InProcessTransport, ShardServer, TcpTransport,
+    Transport,
+};
 pub use maxrs_core::{
     approx_max_crs, approx_max_crs_from_objects, approx_max_crs_in_memory, exact_max_crs_in_memory,
     exact_max_rs, exact_max_rs_from_objects, load_objects, max_k_rs_in_memory, max_rs_in_memory,
