@@ -1,0 +1,426 @@
+//! Head-to-head measurement of the locality-aware [`FrontierMap`] against
+//! the `std::collections::BTreeMap` it replaced in the sweep-front hot paths — the measurements behind the
+//! `sweepfront` command of the experiment harness.
+//!
+//! Three deterministic probe-key sequences model the access regimes the sweep
+//! structures actually see:
+//!
+//! * **sequential** — a monotone walk over the key space, the regime of slab
+//!   sweeps and delta merges (almost every probe lands on the map's
+//!   last-accessed leaf);
+//! * **local** — probes jittered around a slowly drifting center, the regime
+//!   of the stream engine's per-event breakpoint updates (a handful of
+//!   adjacent leaves stay hot);
+//! * **random** — uniform probes, the adversarial regime where the hot-leaf
+//!   cache always misses and both structures pay a full descent.
+//!
+//! A fourth **churn** row builds each map from empty with random fresh
+//! upserts and then tears it back down — the structural-mutation regime of
+//! the stream engine's breakpoint multisets (every event inserts rectangle
+//! edges that a later delete or expiry removes), which the preloaded
+//! patterns never reach: churn is all leaf splits, merges and node
+//! recycling.
+//!
+//! Both structures replay the *same* operation mix (lookups, value-replacing
+//! inserts and successor probes) over the same preloaded key set, each
+//! through its idiomatic access path — `FrontierMap` cursors and the cached
+//! hot leaf on one side, `BTreeMap::get`/`range(k..)` re-probes (exactly what
+//! the replaced code did) on the other — and the drivers fold the touched
+//! values into a checksum that must agree between the two, so the comparison
+//! is self-verifying.  A final end-to-end row replays an event stream through
+//! the `FrontierMap`-backed [`StreamEngine`](maxrs_stream::StreamEngine) so
+//! ingest events/sec is tracked alongside the micro numbers.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use maxrs_core::FrontierMap;
+use maxrs_datagen::EventStreamConfig;
+use maxrs_geometry::RectSize;
+use maxrs_stream::StreamConfig;
+
+use crate::figures::FigureOptions;
+use crate::json::Value;
+use crate::stream_run::{run_stream, StreamRun};
+
+/// One access regime of the frontier micro-comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Monotone ascending walk over the key space (slab sweeps, delta merges).
+    Sequential,
+    /// Probes jittered around a drifting center (per-event breakpoint churn).
+    Local,
+    /// Uniform probes — the hot-leaf cache's worst case.
+    Random,
+}
+
+impl AccessPattern {
+    /// All three regimes, best-locality first.
+    pub const ALL: [AccessPattern; 3] = [
+        AccessPattern::Sequential,
+        AccessPattern::Local,
+        AccessPattern::Random,
+    ];
+
+    /// Short name used in report rows and bench ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Local => "local",
+            AccessPattern::Random => "random",
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The preloaded key set both structures start from: the `n` even keys
+/// `{0, 2, 4, ...}`, each mapped to its index.
+fn preload_pairs(n: usize) -> impl Iterator<Item = (u64, u64)> {
+    (0..n as u64).map(|i| (i * 2, i))
+}
+
+/// A [`FrontierMap`] holding the standard preload (built through
+/// `bulk_load`, the path the prepared layer uses).
+pub fn preloaded_frontier(n: usize) -> FrontierMap<u64, u64> {
+    let mut map = FrontierMap::new();
+    map.bulk_load(preload_pairs(n));
+    map
+}
+
+/// A `BTreeMap` holding the same standard preload.
+pub fn preloaded_btreemap(n: usize) -> BTreeMap<u64, u64> {
+    preload_pairs(n).collect()
+}
+
+/// The deterministic probe-key sequence of (`pattern`, `seed`) over the
+/// standard `n`-key preload: `ops` keys, every one present in the map.
+pub fn pattern_keys(pattern: AccessPattern, n: usize, ops: usize, seed: u64) -> Vec<u64> {
+    let n = n.max(1) as u64;
+    let mut rng = seed | 1;
+    (0..ops as u64)
+        .map(|i| {
+            let slot = match pattern {
+                AccessPattern::Sequential => i % n,
+                // The center advances one leaf-width every 64 probes; the
+                // jitter spans about one leaf, so a handful of adjacent
+                // leaves serve every window of the sequence.
+                AccessPattern::Local => ((i / 64) * 24 + xorshift(&mut rng) % 32) % n,
+                AccessPattern::Random => xorshift(&mut rng) % n,
+            };
+            slot * 2
+        })
+        .collect()
+}
+
+/// Replays the probe sequence against a preloaded [`FrontierMap`] through its
+/// idiomatic access path (hot-leaf lookups, cursor successor probes),
+/// returning a fold of the touched values so the work cannot be optimized
+/// away.  Every 4th probe replaces the key's value in place; every 8th walks
+/// a cursor to the key's successor; the rest are point lookups.
+pub fn drive_frontier(map: &mut FrontierMap<u64, u64>, keys: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        match i % 8 {
+            3 | 7 => {
+                map.insert(k, i as u64);
+            }
+            5 => {
+                if let Some(c) = map.seek_gt(&k) {
+                    acc = acc.wrapping_add(*c.key(map)) ^ *c.value(map);
+                }
+            }
+            _ => {
+                if let Some(&v) = map.get(&k) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Replays the same probe sequence against a preloaded `BTreeMap` the way the
+/// replaced code accessed it (`get`, value-replacing `insert`, and a fresh
+/// `range(k+1..)` descent per successor probe).  Returns the same checksum as
+/// [`drive_frontier`] on the same inputs — the two drivers verify each other.
+pub fn drive_btreemap(map: &mut BTreeMap<u64, u64>, keys: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        match i % 8 {
+            3 | 7 => {
+                map.insert(k, i as u64);
+            }
+            5 => {
+                if let Some((&sk, &sv)) = map.range(k + 1..).next() {
+                    acc = acc.wrapping_add(sk) ^ sv;
+                }
+            }
+            _ => {
+                if let Some(&v) = map.get(&k) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The deterministic key sequence of the churn row: `n` uniform random keys
+/// (duplicates possible, so replays exercise upsert-of-present too).
+pub fn churn_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = seed | 1;
+    (0..n).map(|_| xorshift(&mut rng)).collect()
+}
+
+/// Builds a [`FrontierMap`] from empty by upserting every churn key, then
+/// removes them all in insertion order, folding removed values into a
+/// checksum.  Every replay runs the full split/merge/recycle machinery.
+pub fn drive_frontier_churn(keys: &[u64]) -> u64 {
+    let mut map: FrontierMap<u64, u64> = FrontierMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        *map.get_or_insert_with(k, || 0) += i as u64;
+    }
+    let mut acc = 0u64;
+    for &k in keys {
+        if let Some(v) = map.remove(&k) {
+            acc = acc.wrapping_add(v);
+        }
+    }
+    acc
+}
+
+/// The `BTreeMap` mirror of [`drive_frontier_churn`] (`entry().or_insert`
+/// upserts, then removals), returning the same checksum on the same keys.
+pub fn drive_btreemap_churn(keys: &[u64]) -> u64 {
+    let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        *map.entry(k).or_insert(0) += i as u64;
+    }
+    let mut acc = 0u64;
+    for &k in keys {
+        if let Some(v) = map.remove(&k) {
+            acc = acc.wrapping_add(v);
+        }
+    }
+    acc
+}
+
+/// One access-pattern row of the comparison: the same op sequence timed over
+/// both structures (best of three replays each, fresh preload per replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepfrontRun {
+    /// Access regime of the probe sequence.
+    pub pattern: String,
+    /// Keys preloaded into both maps.
+    pub keys: usize,
+    /// Timed operations per replay.
+    pub ops: usize,
+    /// Best-of-three cost per operation over `BTreeMap`, in nanoseconds.
+    pub btreemap_ns_per_op: f64,
+    /// Best-of-three cost per operation over [`FrontierMap`], in nanoseconds.
+    pub frontier_ns_per_op: f64,
+}
+
+impl SweepfrontRun {
+    /// How much faster the frontier map ran this pattern (`> 1` is a win).
+    pub fn speedup(&self) -> f64 {
+        if self.frontier_ns_per_op > 0.0 {
+            self.btreemap_ns_per_op / self.frontier_ns_per_op
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Serializes the row for the experiment harness's JSON output.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("id", Value::String("sweepfront".into())),
+            ("pattern", Value::String(self.pattern.clone())),
+            ("keys", Value::Number(self.keys as f64)),
+            ("ops", Value::Number(self.ops as f64)),
+            ("btreemap_ns_per_op", Value::Number(self.btreemap_ns_per_op)),
+            ("frontier_ns_per_op", Value::Number(self.frontier_ns_per_op)),
+            ("speedup", Value::Number(self.speedup())),
+        ])
+    }
+}
+
+/// Everything the `sweepfront` command measures: the access-pattern
+/// head-to-heads (plus the structural-churn row) and one end-to-end
+/// event-stream replay over the `FrontierMap`-backed engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepfrontReport {
+    /// The sequential / local / random / churn comparison rows.
+    pub patterns: Vec<SweepfrontRun>,
+    /// The end-to-end stream replay (ingest events/sec, verified).
+    pub stream: StreamRun,
+}
+
+impl SweepfrontReport {
+    /// All rows of the report as JSON values (the stream row keeps its
+    /// regular `"stream"` id, so the file stays self-describing).
+    pub fn to_values(&self) -> Vec<Value> {
+        self.patterns
+            .iter()
+            .map(SweepfrontRun::to_value)
+            .chain(std::iter::once(self.stream.to_value()))
+            .collect()
+    }
+}
+
+/// Runs the full sweepfront comparison at the given scale: the map size and
+/// op count scale like the figure cardinalities, every pattern is replayed
+/// three times per structure (fresh preload each replay, best replay kept),
+/// and the checksums of the two drivers are asserted equal before any timing
+/// is trusted.
+pub fn run_sweepfront(opts: &FigureOptions) -> SweepfrontReport {
+    let n = opts.scale.cardinality(2_000_000).max(20_000);
+    let ops = (n * 4).max(100_000);
+
+    let mut patterns: Vec<SweepfrontRun> = AccessPattern::ALL
+        .iter()
+        .map(|&pattern| {
+            let keys = pattern_keys(pattern, n, ops, opts.seed);
+            let mut frontier_best = u128::MAX;
+            let mut btreemap_best = u128::MAX;
+            for _ in 0..3 {
+                let mut map = preloaded_btreemap(n);
+                let t = Instant::now();
+                let bt_acc = black_box(drive_btreemap(&mut map, &keys));
+                btreemap_best = btreemap_best.min(t.elapsed().as_nanos());
+
+                let mut map = preloaded_frontier(n);
+                let t = Instant::now();
+                let fr_acc = black_box(drive_frontier(&mut map, &keys));
+                frontier_best = frontier_best.min(t.elapsed().as_nanos());
+
+                assert_eq!(
+                    fr_acc,
+                    bt_acc,
+                    "{}: the two drivers diverged",
+                    pattern.name()
+                );
+            }
+            SweepfrontRun {
+                pattern: pattern.name().to_string(),
+                keys: n,
+                ops,
+                btreemap_ns_per_op: btreemap_best as f64 / ops as f64,
+                frontier_ns_per_op: frontier_best as f64 / ops as f64,
+            }
+        })
+        .collect();
+
+    // Structural churn: empty-to-full-to-empty, timing splits and merges.
+    {
+        let keys = churn_keys(n, opts.seed);
+        let churn_ops = keys.len() * 2;
+        let mut frontier_best = u128::MAX;
+        let mut btreemap_best = u128::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let bt_acc = black_box(drive_btreemap_churn(&keys));
+            btreemap_best = btreemap_best.min(t.elapsed().as_nanos());
+
+            let t = Instant::now();
+            let fr_acc = black_box(drive_frontier_churn(&keys));
+            frontier_best = frontier_best.min(t.elapsed().as_nanos());
+
+            assert_eq!(fr_acc, bt_acc, "churn: the two drivers diverged");
+        }
+        patterns.push(SweepfrontRun {
+            pattern: "churn".to_string(),
+            keys: n,
+            ops: churn_ops,
+            btreemap_ns_per_op: btreemap_best as f64 / churn_ops as f64,
+            frontier_ns_per_op: frontier_best as f64 / churn_ops as f64,
+        });
+    }
+
+    // End-to-end: the same stream replay the `stream` command reports, so
+    // the frontier-backed engine's ingest rate rides along in this file.
+    let events = opts.scale.cardinality(1_500_000).max(1_000);
+    let cfg = EventStreamConfig {
+        events,
+        ..Default::default()
+    };
+    let stream = run_stream(
+        &cfg,
+        opts.seed,
+        StreamConfig::max_rs(RectSize::square(10_000.0)),
+        (events / 500).max(1),
+    )
+    .expect("sweepfront stream replay failed");
+    assert!(stream.verified, "sweepfront stream replay diverged");
+
+    SweepfrontReport { patterns, stream }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_keys_are_deterministic_and_in_range() {
+        for pattern in AccessPattern::ALL {
+            let a = pattern_keys(pattern, 100, 500, 7);
+            let b = pattern_keys(pattern, 100, 500, 7);
+            assert_eq!(a, b, "{}", pattern.name());
+            assert!(a.iter().all(|&k| k < 200 && k % 2 == 0));
+        }
+        let seq = pattern_keys(AccessPattern::Sequential, 100, 150, 7);
+        assert_eq!(&seq[..3], &[0, 2, 4]);
+        assert_eq!(seq[100], 0, "sequential wraps around the key space");
+    }
+
+    #[test]
+    fn drivers_agree_on_every_pattern() {
+        let n = 300;
+        for pattern in AccessPattern::ALL {
+            let keys = pattern_keys(pattern, n, 2_000, 11);
+            let mut frontier = preloaded_frontier(n);
+            let mut btreemap = preloaded_btreemap(n);
+            assert_eq!(
+                drive_frontier(&mut frontier, &keys),
+                drive_btreemap(&mut btreemap, &keys),
+                "{}",
+                pattern.name()
+            );
+            // The drivers only replace values, so both maps keep the preload.
+            assert_eq!(frontier.len(), n);
+            assert_eq!(btreemap.len(), n);
+        }
+        let churn = churn_keys(500, 11);
+        assert_eq!(drive_frontier_churn(&churn), drive_btreemap_churn(&churn));
+    }
+
+    #[test]
+    fn smoke_report_rows_line_up() {
+        let opts = FigureOptions {
+            scale: crate::config::ExperimentScale::new(0.001),
+            seed: 42,
+            algorithms: [true, true, true],
+        };
+        let report = run_sweepfront(&opts);
+        assert_eq!(report.patterns.len(), 4);
+        assert_eq!(report.patterns[3].pattern, "churn");
+        for row in &report.patterns {
+            assert!(row.btreemap_ns_per_op > 0.0);
+            assert!(row.frontier_ns_per_op > 0.0);
+            let json = row.to_value();
+            assert_eq!(json.get("id").unwrap().as_str(), Some("sweepfront"));
+            assert!(json.get("speedup").unwrap().as_f64().is_some());
+        }
+        assert!(report.stream.verified);
+        assert_eq!(report.to_values().len(), 5);
+    }
+}

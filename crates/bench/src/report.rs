@@ -89,7 +89,7 @@ impl FigureReport {
             .iter()
             .flat_map(|s| s.points.iter().map(|p| p.x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_unstable_by(f64::total_cmp);
         xs.dedup();
         xs
     }

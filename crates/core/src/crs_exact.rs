@@ -104,11 +104,7 @@ pub fn exact_max_crs_in_memory(objects: &[WeightedPoint], diameter: f64) -> MaxC
         }
         // Sweep by angle; at equal angles apply additions before removals so
         // that tangent arcs still count (closed semantics).
-        events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then(b.1.partial_cmp(&a.1).unwrap())
-        });
+        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
         let mut running = baseline;
         for (angle, delta) in events {
             running += delta;

@@ -197,9 +197,10 @@ struct LiveEntry {
 }
 
 /// Maps a finite `f64` to a `u64` whose unsigned order matches the float
-/// order (the `total_cmp` bit trick) — used for the expiry queue here and
-/// for the x-ordered delta index in [`crate::delta`].
-pub(crate) fn total_order_bits(t: f64) -> u64 {
+/// order (the `total_cmp` bit trick) — used for the expiry queue here, for
+/// the x-ordered delta index in [`crate::delta`], and as the `NaN`-free float
+/// key encoding of [`crate::frontier::FrontierMap`].
+pub fn total_order_bits(t: f64) -> u64 {
     let bits = t.to_bits();
     if bits >> 63 == 1 {
         !bits

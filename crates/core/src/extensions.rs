@@ -212,7 +212,7 @@ fn min_rs_on_segment(
             events.push((hi, -o.weight));
         }
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut best: Option<(f64, Interval)> = None;
     let consider = |sum: f64, lo: f64, hi: f64, best: &mut Option<(f64, Interval)>| {

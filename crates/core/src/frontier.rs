@@ -1,0 +1,1478 @@
+//! Locality-aware ordered map for sweep frontiers.
+//!
+//! Every sweep-shaped structure in this workspace — the stream engine's
+//! per-cell caches, the delta-main index, the candidate heaps — walks its
+//! keys in order and touches, with overwhelming probability, a key *adjacent*
+//! to the last one it touched.  `std::collections::BTreeMap` answers each of
+//! those probes with a full root-to-leaf descent through pointer-chased
+//! nodes.  [`FrontierMap`] is a drop-in ordered map tuned for exactly this
+//! access pattern:
+//!
+//! * **Flat `Vec`-backed nodes.**  All B+-tree nodes live in one arena
+//!   (`Vec<Node>`), addressed by `u32` ids with a free list, so the tree is a
+//!   few contiguous allocations instead of one allocation per node.
+//! * **Last-accessed-leaf cache.**  The map remembers the leaf it last
+//!   touched; a probe whose key falls inside that leaf's occupied key range
+//!   (or extends the map at either end) skips the descent entirely.  This is
+//!   the `sweep-bptree` technique: sequential and local workloads hit the
+//!   cache almost always.
+//! * **Owned cursors.**  [`FrontierCursor`] walks entries through the leaf
+//!   linked list (`advance` / `prev`) in O(1) amortized per step, replacing
+//!   the repeated `range(..)` re-probes a `BTreeMap` frontier needs.
+//! * **Bulk load.**  [`FrontierMap::bulk_load`] packs sorted input straight
+//!   into leaves bottom-up, O(n), without per-key descents.
+//!
+//! Keys must be `Copy + Ord`.  Float keys are used through the total-order
+//! bit trick ([`crate::events::total_order_bits`]), which is `NaN`-free and
+//! order-preserving for every value the sweep produces.
+
+use std::fmt;
+
+/// Maximum entries per leaf node.
+const LEAF_CAP: usize = 32;
+/// Minimum entries per non-root leaf (rebalance below this).
+const LEAF_MIN: usize = LEAF_CAP / 2;
+/// Maximum children per inner node.
+const INNER_CAP: usize = 16;
+/// Minimum children per non-root inner node.
+const INNER_MIN: usize = INNER_CAP / 2;
+/// Sentinel id for "no node".
+const NONE_ID: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+        prev: u32,
+        next: u32,
+    },
+    Inner {
+        /// `seps.len() == children.len() - 1`; keys `>= seps[i]` route to
+        /// `children[i + 1]`.
+        seps: Vec<K>,
+        children: Vec<u32>,
+    },
+    Free {
+        next_free: u32,
+        /// Retired leaf buffers, kept (cleared, capacity intact) so the next
+        /// split reuses them instead of round-tripping the allocator.
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+}
+
+/// A locality-aware ordered map over flat `Vec`-backed B+-tree nodes.
+///
+/// See the [module docs](crate::frontier) for the design.  The public API is
+/// the `BTreeMap` slice the sweep structures use — `insert` / `remove` /
+/// `get` / ordered iteration — plus cursors ([`FrontierMap::cursor_first`],
+/// [`FrontierMap::seek`], [`FrontierMap::seek_gt`]) and
+/// [`FrontierMap::bulk_load`].
+#[derive(Clone)]
+pub struct FrontierMap<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: u32,
+    len: usize,
+    free: u32,
+    /// Last-accessed leaf hint; validated against the leaf's current occupied
+    /// key range before every use, so a stale hint is a miss, never an error.
+    hot: std::cell::Cell<u32>,
+    /// Bumped on every mutation; outstanding cursors carry the generation
+    /// they were created under and refuse to walk a mutated map.
+    generation: u64,
+    /// Reusable descent-path buffer for the slow insert/remove paths, so a
+    /// split or rebalance never heap-allocates per operation.
+    scratch_path: Vec<(u32, usize)>,
+}
+
+/// An owned cursor over a [`FrontierMap`], positioned on one entry.
+///
+/// Cursors are cheap (`Copy`) and walk the leaf linked list directly:
+/// [`FrontierCursor::advance`] and [`FrontierCursor::prev`] are O(1)
+/// amortized, against the O(log n) re-probe a `BTreeMap::range` frontier
+/// pays per step.  A cursor is pinned to the map generation it was created
+/// under; using it after any mutation panics (the sweep structures never hold
+/// cursors across mutations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierCursor {
+    leaf: u32,
+    idx: u32,
+    generation: u64,
+}
+
+impl<K: Copy + Ord, V> Default for FrontierMap<K, V> {
+    fn default() -> Self {
+        FrontierMap::new()
+    }
+}
+
+impl<K: Copy + Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for FrontierMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Copy + Ord, V> FrontierMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        FrontierMap {
+            nodes: vec![Node::Leaf {
+                keys: Vec::with_capacity(LEAF_CAP + 1),
+                vals: Vec::with_capacity(LEAF_CAP + 1),
+                prev: NONE_ID,
+                next: NONE_ID,
+            }],
+            root: 0,
+            len: 0,
+            free: NONE_ID,
+            hot: std::cell::Cell::new(NONE_ID),
+            generation: 0,
+            scratch_path: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping the node arena allocation.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::Leaf {
+            keys: Vec::with_capacity(LEAF_CAP + 1),
+            vals: Vec::with_capacity(LEAF_CAP + 1),
+            prev: NONE_ID,
+            next: NONE_ID,
+        });
+        self.root = 0;
+        self.len = 0;
+        self.free = NONE_ID;
+        self.hot.set(NONE_ID);
+        self.generation += 1;
+    }
+
+    // ---- lookups -------------------------------------------------------------
+
+    /// Returns a reference to the value stored under `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        let leaf = self.locate_leaf(k);
+        match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(k) {
+                Ok(i) => Some(&vals[i]),
+                Err(_) => None,
+            },
+            _ => unreachable!("locate_leaf returned a non-leaf"),
+        }
+    }
+
+    /// Returns a mutable reference to the value stored under `k`.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        let leaf = self.locate_leaf(k);
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(k) {
+                Ok(i) => Some(&mut vals[i]),
+                Err(_) => None,
+            },
+            _ => unreachable!("locate_leaf returned a non-leaf"),
+        }
+    }
+
+    /// `true` when `k` is present.
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// The entry with the smallest key, or `None` when empty.
+    pub fn first_key_value(&self) -> Option<(&K, &V)> {
+        let leaf = self.edge_leaf(false);
+        match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => keys.first().map(|k| (k, &vals[0])),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The entry with the largest key, or `None` when empty.
+    pub fn last_key_value(&self) -> Option<(&K, &V)> {
+        let leaf = self.edge_leaf(true);
+        match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => match keys.len() {
+                0 => None,
+                n => Some((&keys[n - 1], &vals[n - 1])),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    // ---- mutation ------------------------------------------------------------
+
+    /// Inserts `v` under `k`, returning the previous value if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        self.generation += 1;
+        // Hot path: the key belongs to the cached leaf (inside its occupied
+        // range, or extending the map at either global end) and fits without
+        // a split.
+        if let Some(leaf) = self.hot_leaf_for_insert(&k) {
+            let fits = match &self.nodes[leaf as usize] {
+                Node::Leaf { keys, .. } => keys.len() < LEAF_CAP || keys.binary_search(&k).is_ok(),
+                _ => false,
+            };
+            if fits {
+                return self.insert_into_leaf_no_split(leaf, k, v);
+            }
+        }
+        // Slow path: full descent with a recorded path for splits.  The path
+        // buffer is owned by the map and reused across operations.
+        let mut path = std::mem::take(&mut self.scratch_path);
+        path.clear();
+        let leaf = self.descend_recording(&k, &mut path);
+        let (replaced, overflow) = {
+            match &mut self.nodes[leaf as usize] {
+                Node::Leaf { keys, vals, .. } => match keys.binary_search(&k) {
+                    Ok(i) => (Some(std::mem::replace(&mut vals[i], v)), false),
+                    Err(i) => {
+                        keys.insert(i, k);
+                        vals.insert(i, v);
+                        (None, keys.len() > LEAF_CAP)
+                    }
+                },
+                _ => unreachable!(),
+            }
+        };
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        self.hot.set(leaf);
+        if overflow {
+            self.split_leaf(leaf, &path);
+        }
+        self.scratch_path = path;
+        replaced
+    }
+
+    /// Returns a mutable reference to the value under `k`, inserting
+    /// `default()` first when absent.
+    ///
+    /// Single descent: `locate_leaf` routes by separators (the hot hint is
+    /// only taken when `k` lies inside the leaf's occupied range), so its
+    /// answer is the correct insertion leaf even when `k` is absent.  When
+    /// the leaf has room the entry is placed in-place; only an overflowing
+    /// leaf falls back to the splitting insert.
+    pub fn get_or_insert_with(&mut self, k: K, default: impl FnOnce() -> V) -> &mut V {
+        let leaf = self.locate_leaf(&k);
+        let (search, full) = match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, .. } => (keys.binary_search(&k), keys.len() >= LEAF_CAP),
+            _ => unreachable!("locate_leaf returned a non-leaf"),
+        };
+        let i = match search {
+            Ok(i) => i,
+            Err(_) if full => {
+                self.insert(k, default());
+                return self.get_mut(&k).expect("key inserted above");
+            }
+            Err(i) => {
+                self.generation += 1;
+                self.len += 1;
+                match &mut self.nodes[leaf as usize] {
+                    Node::Leaf { keys, vals, .. } => {
+                        keys.insert(i, k);
+                        vals.insert(i, default());
+                    }
+                    _ => unreachable!(),
+                }
+                i
+            }
+        };
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf { vals, .. } => &mut vals[i],
+            _ => unreachable!(),
+        }
+    }
+
+    /// Removes the entry under `k`, returning its value if present.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        self.generation += 1;
+        // Hot path: key in the cached leaf and removing cannot underflow.
+        if let Some(leaf) = self.hot_leaf_covering(k) {
+            let no_underflow = match &self.nodes[leaf as usize] {
+                Node::Leaf { keys, .. } => keys.len() > LEAF_MIN,
+                _ => false,
+            };
+            if no_underflow || self.root == leaf {
+                if let Node::Leaf { keys, vals, .. } = &mut self.nodes[leaf as usize] {
+                    if let Ok(i) = keys.binary_search(k) {
+                        keys.remove(i);
+                        let v = vals.remove(i);
+                        self.len -= 1;
+                        return Some(v);
+                    }
+                    return None;
+                }
+            }
+        }
+        // Slow path: full descent, remove, rebalance upward.  The path
+        // buffer is owned by the map and reused across operations.
+        let mut path = std::mem::take(&mut self.scratch_path);
+        path.clear();
+        let leaf = self.descend_recording(k, &mut path);
+        let removed = match &mut self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(k) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        };
+        if removed.is_some() {
+            self.len -= 1;
+            self.hot.set(leaf);
+            self.rebalance_after_remove(leaf, &mut path);
+        }
+        self.scratch_path = path;
+        removed
+    }
+
+    /// Replaces the contents with `items`, which must be sorted by strictly
+    /// ascending key.  Leaves are packed bottom-up in O(n) without per-key
+    /// descents.
+    pub fn bulk_load(&mut self, items: impl IntoIterator<Item = (K, V)>) {
+        self.generation += 1;
+        self.nodes.clear();
+        self.free = NONE_ID;
+        self.hot.set(NONE_ID);
+
+        let mut keys: Vec<K> = Vec::new();
+        let mut vals: Vec<V> = Vec::new();
+        for (k, v) in items {
+            if let Some(last) = keys.last() {
+                assert!(*last < k, "bulk_load input must be strictly ascending");
+            }
+            keys.push(k);
+            vals.push(v);
+        }
+        self.len = keys.len();
+        if keys.is_empty() {
+            self.nodes.push(Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                prev: NONE_ID,
+                next: NONE_ID,
+            });
+            self.root = 0;
+            return;
+        }
+
+        // Pack leaves with near-even sizes so no leaf starts underfull.
+        let n = keys.len();
+        let leaf_count = n.div_ceil(LEAF_CAP);
+        let mut level: Vec<(K, u32)> = Vec::with_capacity(leaf_count);
+        let mut vals_iter = vals.into_iter();
+        let mut taken = 0usize;
+        for i in 0..leaf_count {
+            let size = (n * (i + 1)) / leaf_count - (n * i) / leaf_count;
+            let leaf_keys: Vec<K> = keys[taken..taken + size].to_vec();
+            let leaf_vals: Vec<V> = vals_iter.by_ref().take(size).collect();
+            taken += size;
+            let id = self.nodes.len() as u32;
+            let prev = if i == 0 { NONE_ID } else { id - 1 };
+            self.nodes.push(Node::Leaf {
+                keys: leaf_keys,
+                vals: leaf_vals,
+                prev,
+                next: NONE_ID,
+            });
+            if i > 0 {
+                if let Node::Leaf { next, .. } = &mut self.nodes[(id - 1) as usize] {
+                    *next = id;
+                }
+            }
+            level.push((keys[taken - size], id));
+        }
+
+        // Build inner levels until a single root remains.
+        while level.len() > 1 {
+            let m = level.len();
+            let group_count = m.div_ceil(INNER_CAP);
+            let mut next_level: Vec<(K, u32)> = Vec::with_capacity(group_count);
+            let mut at = 0usize;
+            for g in 0..group_count {
+                let size = (m * (g + 1)) / group_count - (m * g) / group_count;
+                let chunk = &level[at..at + size];
+                at += size;
+                let id = self.nodes.len() as u32;
+                self.nodes.push(Node::Inner {
+                    seps: chunk[1..].iter().map(|&(k, _)| k).collect(),
+                    children: chunk.iter().map(|&(_, id)| id).collect(),
+                });
+                next_level.push((chunk[0].0, id));
+            }
+            level = next_level;
+        }
+        self.root = level[0].1;
+    }
+
+    // ---- cursors and iteration ------------------------------------------------
+
+    /// A cursor on the smallest entry, or `None` when empty.
+    pub fn cursor_first(&self) -> Option<FrontierCursor> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(FrontierCursor {
+            leaf: self.edge_leaf(false),
+            idx: 0,
+            generation: self.generation,
+        })
+    }
+
+    /// A cursor on the largest entry, or `None` when empty.
+    pub fn cursor_last(&self) -> Option<FrontierCursor> {
+        if self.is_empty() {
+            return None;
+        }
+        let leaf = self.edge_leaf(true);
+        let idx = match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, .. } => keys.len() - 1,
+            _ => unreachable!(),
+        };
+        Some(FrontierCursor {
+            leaf,
+            idx: idx as u32,
+            generation: self.generation,
+        })
+    }
+
+    /// A cursor on the first entry with key `>= k`, or `None` when every key
+    /// is smaller.
+    pub fn seek(&self, k: &K) -> Option<FrontierCursor> {
+        self.seek_by(k, false)
+    }
+
+    /// A cursor on the first entry with key `> k` (strict successor), or
+    /// `None` when every key is `<= k`.
+    pub fn seek_gt(&self, k: &K) -> Option<FrontierCursor> {
+        self.seek_by(k, true)
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> FrontierIter<'_, K, V> {
+        FrontierIter {
+            map: self,
+            leaf: if self.is_empty() {
+                NONE_ID
+            } else {
+                self.edge_leaf(false)
+            },
+            idx: 0,
+        }
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    // ---- internals -----------------------------------------------------------
+
+    fn seek_by(&self, k: &K, strict: bool) -> Option<FrontierCursor> {
+        let leaf = self.locate_leaf(k);
+        let (idx, next) = match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, next, .. } => {
+                let idx = if strict {
+                    keys.partition_point(|key| key <= k)
+                } else {
+                    keys.partition_point(|key| key < k)
+                };
+                (idx, *next)
+            }
+            _ => unreachable!(),
+        };
+        let (leaf, idx) = if idx
+            == match &self.nodes[leaf as usize] {
+                Node::Leaf { keys, .. } => keys.len(),
+                _ => unreachable!(),
+            } {
+            // Past the end of this leaf: the successor is the first entry of
+            // the next leaf (non-root leaves are never empty).
+            if next == NONE_ID {
+                return None;
+            }
+            (next, 0)
+        } else {
+            (leaf, idx)
+        };
+        Some(FrontierCursor {
+            leaf,
+            idx: idx as u32,
+            generation: self.generation,
+        })
+    }
+
+    /// The leaf the key `k` routes to, using the hot hint when it covers `k`.
+    fn locate_leaf(&self, k: &K) -> u32 {
+        if let Some(leaf) = self.hot_leaf_covering(k) {
+            return leaf;
+        }
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => {
+                    self.hot.set(id);
+                    return id;
+                }
+                Node::Inner { seps, children } => {
+                    id = children[seps.partition_point(|s| s <= k)];
+                }
+                Node::Free { .. } => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// Hot-leaf hit test for lookups/removals: the key must lie inside the
+    /// leaf's *occupied* key range, which is always a sound routing answer.
+    fn hot_leaf_covering(&self, k: &K) -> Option<u32> {
+        let id = self.hot.get();
+        if id == NONE_ID {
+            return None;
+        }
+        match self.nodes.get(id as usize) {
+            Some(Node::Leaf { keys, .. }) if !keys.is_empty() => {
+                if *k >= keys[0] && *k <= *keys.last().expect("non-empty") {
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Hot-leaf hit test for inserts: additionally accepts keys extending the
+    /// map at either global end (the leftmost leaf owns `(-inf, ..]`, the
+    /// rightmost `[.., +inf)`), which covers ascending and descending bulk
+    /// insertion.  Keys falling in the gap *between* two leaves miss — only
+    /// the separators, which we do not consult here, can route those.
+    fn hot_leaf_for_insert(&self, k: &K) -> Option<u32> {
+        let id = self.hot.get();
+        if id == NONE_ID {
+            return None;
+        }
+        match self.nodes.get(id as usize) {
+            Some(Node::Leaf {
+                keys, prev, next, ..
+            }) if !keys.is_empty() => {
+                let first = keys[0];
+                let last = *keys.last().expect("non-empty");
+                let covered = (*k >= first && *k <= last)
+                    || (*prev == NONE_ID && *k < first)
+                    || (*next == NONE_ID && *k > last);
+                covered.then_some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Inserts into `leaf` knowing it cannot overflow (hot path).
+    fn insert_into_leaf_no_split(&mut self, leaf: u32, k: K, v: V) -> Option<V> {
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(&k) {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], v)),
+                Err(i) => {
+                    keys.insert(i, k);
+                    vals.insert(i, v);
+                    self.len += 1;
+                    None
+                }
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Full descent from the root recording `(inner node, child index)` pairs.
+    fn descend_recording(&self, k: &K, path: &mut Vec<(u32, usize)>) -> u32 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => return id,
+                Node::Inner { seps, children } => {
+                    let ci = seps.partition_point(|s| s <= k);
+                    path.push((id, ci));
+                    id = children[ci];
+                }
+                Node::Free { .. } => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// Leftmost (`false`) or rightmost (`true`) leaf.
+    fn edge_leaf(&self, rightmost: bool) -> u32 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { .. } => return id,
+                Node::Inner { children, .. } => {
+                    id = if rightmost {
+                        *children.last().expect("inner nodes have children")
+                    } else {
+                        children[0]
+                    };
+                }
+                Node::Free { .. } => unreachable!(),
+            }
+        }
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> u32 {
+        if self.free != NONE_ID {
+            let id = self.free;
+            match &self.nodes[id as usize] {
+                Node::Free { next_free, .. } => self.free = *next_free,
+                _ => unreachable!("free list points at a live node"),
+            }
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, id: u32) {
+        if self.hot.get() == id {
+            self.hot.set(NONE_ID);
+        }
+        let old = std::mem::replace(
+            &mut self.nodes[id as usize],
+            Node::Free {
+                next_free: self.free,
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
+        );
+        // A retired leaf parks its buffers on the free entry for reuse.
+        if let Node::Leaf {
+            mut keys, mut vals, ..
+        } = old
+        {
+            keys.clear();
+            vals.clear();
+            if let Node::Free {
+                keys: spare_keys,
+                vals: spare_vals,
+                ..
+            } = &mut self.nodes[id as usize]
+            {
+                *spare_keys = keys;
+                *spare_vals = vals;
+            }
+        }
+        self.free = id;
+    }
+
+    /// Leaf buffers for a fresh leaf: recycled from the free-list head when a
+    /// retired leaf parked its buffers there, freshly reserved otherwise.
+    fn take_leaf_buffers(&mut self) -> (Vec<K>, Vec<V>) {
+        if self.free != NONE_ID {
+            if let Node::Free { keys, vals, .. } = &mut self.nodes[self.free as usize] {
+                if keys.capacity() > 0 {
+                    return (std::mem::take(keys), std::mem::take(vals));
+                }
+            }
+        }
+        (
+            Vec::with_capacity(LEAF_CAP + 1),
+            Vec::with_capacity(LEAF_CAP + 1),
+        )
+    }
+
+    /// Splits an overflowing leaf, inserting the new separator into the
+    /// parent chain (splitting inner nodes upward as needed).
+    fn split_leaf(&mut self, leaf: u32, path: &[(u32, usize)]) {
+        let (sep, right_id) = {
+            let (mut right_keys, mut right_vals) = self.take_leaf_buffers();
+            let old_next = match &mut self.nodes[leaf as usize] {
+                Node::Leaf {
+                    keys, vals, next, ..
+                } => {
+                    let mid = keys.len() / 2;
+                    right_keys.extend(keys.drain(mid..));
+                    right_vals.extend(vals.drain(mid..));
+                    *next
+                }
+                _ => unreachable!(),
+            };
+            let sep = right_keys[0];
+            let right_id = self.alloc(Node::Leaf {
+                keys: right_keys,
+                vals: right_vals,
+                prev: leaf,
+                next: old_next,
+            });
+            if let Node::Leaf { next, .. } = &mut self.nodes[leaf as usize] {
+                *next = right_id;
+            }
+            if old_next != NONE_ID {
+                if let Node::Leaf { prev, .. } = &mut self.nodes[old_next as usize] {
+                    *prev = right_id;
+                }
+            }
+            (sep, right_id)
+        };
+        self.insert_into_parent(leaf, sep, right_id, path);
+    }
+
+    /// Inserts `(sep, right_id)` just after `left_id` in its parent,
+    /// propagating inner splits to the root.
+    fn insert_into_parent(&mut self, left_id: u32, sep: K, right_id: u32, path: &[(u32, usize)]) {
+        let Some(&(parent, ci)) = path.last() else {
+            // `left_id` was the root: grow a new root.
+            let new_root = self.alloc(Node::Inner {
+                seps: vec![sep],
+                children: vec![left_id, right_id],
+            });
+            self.root = new_root;
+            return;
+        };
+        let overflow = match &mut self.nodes[parent as usize] {
+            Node::Inner { seps, children } => {
+                debug_assert_eq!(children[ci], left_id);
+                seps.insert(ci, sep);
+                children.insert(ci + 1, right_id);
+                children.len() > INNER_CAP
+            }
+            _ => unreachable!(),
+        };
+        if overflow {
+            self.split_inner(parent, &path[..path.len() - 1]);
+        }
+    }
+
+    /// Splits an overflowing inner node, pushing the middle separator up.
+    fn split_inner(&mut self, inner: u32, path: &[(u32, usize)]) {
+        let (up_sep, right_id) = {
+            let (right_seps, right_children, up_sep) = match &mut self.nodes[inner as usize] {
+                Node::Inner { seps, children } => {
+                    let m = children.len() / 2;
+                    let right_children = children.split_off(m);
+                    let mut right_seps = seps.split_off(m - 1);
+                    let up_sep = right_seps.remove(0);
+                    (right_seps, right_children, up_sep)
+                }
+                _ => unreachable!(),
+            };
+            let right_id = self.alloc(Node::Inner {
+                seps: right_seps,
+                children: right_children,
+            });
+            (up_sep, right_id)
+        };
+        self.insert_into_parent(inner, up_sep, right_id, path);
+    }
+
+    /// Restores B+-tree invariants after a removal from `leaf`.
+    fn rebalance_after_remove(&mut self, leaf: u32, path: &mut Vec<(u32, usize)>) {
+        let underfull = match &self.nodes[leaf as usize] {
+            Node::Leaf { keys, .. } => keys.len() < LEAF_MIN,
+            _ => unreachable!(),
+        };
+        if !underfull || leaf == self.root {
+            return;
+        }
+        let (parent, ci) = *path.last().expect("non-root leaf has a parent");
+        self.rebalance_leaf(parent, ci);
+        self.rebalance_inner_chain(path);
+    }
+
+    /// Borrows into or merges the underfull leaf `children[ci]` of `parent`.
+    fn rebalance_leaf(&mut self, parent: u32, ci: usize) {
+        let (left_sib, right_sib, child) = match &self.nodes[parent as usize] {
+            Node::Inner { children, .. } => (
+                ci.checked_sub(1).map(|i| children[i]),
+                children.get(ci + 1).copied(),
+                children[ci],
+            ),
+            _ => unreachable!(),
+        };
+        let left_len = left_sib.map(|id| self.leaf_len(id));
+        let right_len = right_sib.map(|id| self.leaf_len(id));
+
+        if let (Some(left), Some(llen)) = (left_sib, left_len) {
+            if llen > LEAF_MIN {
+                // Rotate the left sibling's last entry to the child's front.
+                let (k, v) = match &mut self.nodes[left as usize] {
+                    Node::Leaf { keys, vals, .. } => (
+                        keys.pop().expect("non-empty"),
+                        vals.pop().expect("non-empty"),
+                    ),
+                    _ => unreachable!(),
+                };
+                match &mut self.nodes[child as usize] {
+                    Node::Leaf { keys, vals, .. } => {
+                        keys.insert(0, k);
+                        vals.insert(0, v);
+                    }
+                    _ => unreachable!(),
+                }
+                match &mut self.nodes[parent as usize] {
+                    Node::Inner { seps, .. } => seps[ci - 1] = k,
+                    _ => unreachable!(),
+                }
+                return;
+            }
+        }
+        if let (Some(right), Some(rlen)) = (right_sib, right_len) {
+            if rlen > LEAF_MIN {
+                // Rotate the right sibling's first entry to the child's back.
+                let (k, v, new_first) = match &mut self.nodes[right as usize] {
+                    Node::Leaf { keys, vals, .. } => {
+                        let k = keys.remove(0);
+                        let v = vals.remove(0);
+                        (k, v, keys[0])
+                    }
+                    _ => unreachable!(),
+                };
+                match &mut self.nodes[child as usize] {
+                    Node::Leaf { keys, vals, .. } => {
+                        keys.push(k);
+                        vals.push(v);
+                    }
+                    _ => unreachable!(),
+                }
+                match &mut self.nodes[parent as usize] {
+                    Node::Inner { seps, .. } => seps[ci] = new_first,
+                    _ => unreachable!(),
+                }
+                return;
+            }
+        }
+        // Merge with a sibling (both at LEAF_MIN or below: the merged leaf
+        // holds at most 2*LEAF_MIN - 1 <= LEAF_CAP entries).
+        if left_sib.is_some() {
+            self.merge_leaves(parent, ci - 1);
+        } else {
+            self.merge_leaves(parent, ci);
+        }
+    }
+
+    /// Merges leaf `children[li + 1]` of `parent` into `children[li]` and
+    /// drops the separator between them.
+    fn merge_leaves(&mut self, parent: u32, li: usize) {
+        let (left, right) = match &self.nodes[parent as usize] {
+            Node::Inner { children, .. } => (children[li], children[li + 1]),
+            _ => unreachable!(),
+        };
+        let (mut rkeys, mut rvals, rnext) = match &mut self.nodes[right as usize] {
+            Node::Leaf {
+                keys, vals, next, ..
+            } => (std::mem::take(keys), std::mem::take(vals), *next),
+            _ => unreachable!(),
+        };
+        match &mut self.nodes[left as usize] {
+            Node::Leaf {
+                keys, vals, next, ..
+            } => {
+                keys.append(&mut rkeys);
+                vals.append(&mut rvals);
+                *next = rnext;
+            }
+            _ => unreachable!(),
+        }
+        if rnext != NONE_ID {
+            if let Node::Leaf { prev, .. } = &mut self.nodes[rnext as usize] {
+                *prev = left;
+            }
+        }
+        self.dealloc(right);
+        match &mut self.nodes[parent as usize] {
+            Node::Inner { seps, children } => {
+                seps.remove(li);
+                children.remove(li + 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Walks the recorded path upward fixing underfull inner nodes.
+    fn rebalance_inner_chain(&mut self, path: &mut Vec<(u32, usize)>) {
+        while let Some((node, _)) = path.pop() {
+            let child_count = match &self.nodes[node as usize] {
+                Node::Inner { children, .. } => children.len(),
+                _ => unreachable!(),
+            };
+            if node == self.root {
+                if child_count == 1 {
+                    // Collapse a single-child root.
+                    let only = match &self.nodes[node as usize] {
+                        Node::Inner { children, .. } => children[0],
+                        _ => unreachable!(),
+                    };
+                    self.root = only;
+                    self.dealloc(node);
+                }
+                return;
+            }
+            if child_count >= INNER_MIN {
+                return;
+            }
+            let (parent, ci) = *path.last().expect("non-root inner has a parent");
+            self.rebalance_inner(parent, ci);
+        }
+    }
+
+    /// Borrows into or merges the underfull inner node `children[ci]` of
+    /// `parent`.
+    fn rebalance_inner(&mut self, parent: u32, ci: usize) {
+        let (left_sib, right_sib, child) = match &self.nodes[parent as usize] {
+            Node::Inner { children, .. } => (
+                ci.checked_sub(1).map(|i| children[i]),
+                children.get(ci + 1).copied(),
+                children[ci],
+            ),
+            _ => unreachable!(),
+        };
+        let sep_left = ci.checked_sub(1).map(|i| self.parent_sep(parent, i));
+        let sep_right = self.parent_sep_opt(parent, ci);
+
+        if let Some(left) = left_sib {
+            if self.inner_child_count(left) > INNER_MIN {
+                // Rotate: parent separator comes down, left's last separator
+                // goes up, left's last child moves to the child's front.
+                let (moved_child, new_up) = match &mut self.nodes[left as usize] {
+                    Node::Inner { seps, children } => (
+                        children.pop().expect("non-empty"),
+                        seps.pop().expect("non-empty"),
+                    ),
+                    _ => unreachable!(),
+                };
+                let down = sep_left.expect("left sibling implies a separator");
+                match &mut self.nodes[child as usize] {
+                    Node::Inner { seps, children } => {
+                        seps.insert(0, down);
+                        children.insert(0, moved_child);
+                    }
+                    _ => unreachable!(),
+                }
+                match &mut self.nodes[parent as usize] {
+                    Node::Inner { seps, .. } => seps[ci - 1] = new_up,
+                    _ => unreachable!(),
+                }
+                return;
+            }
+        }
+        if let Some(right) = right_sib {
+            if self.inner_child_count(right) > INNER_MIN {
+                let (moved_child, new_up) = match &mut self.nodes[right as usize] {
+                    Node::Inner { seps, children } => (children.remove(0), seps.remove(0)),
+                    _ => unreachable!(),
+                };
+                let down = sep_right.expect("right sibling implies a separator");
+                match &mut self.nodes[child as usize] {
+                    Node::Inner { seps, children } => {
+                        seps.push(down);
+                        children.push(moved_child);
+                    }
+                    _ => unreachable!(),
+                }
+                match &mut self.nodes[parent as usize] {
+                    Node::Inner { seps, .. } => seps[ci] = new_up,
+                    _ => unreachable!(),
+                }
+                return;
+            }
+        }
+        if left_sib.is_some() {
+            self.merge_inner(parent, ci - 1);
+        } else {
+            self.merge_inner(parent, ci);
+        }
+    }
+
+    /// Merges inner `children[li + 1]` of `parent` into `children[li]`,
+    /// pulling the separator between them down.
+    fn merge_inner(&mut self, parent: u32, li: usize) {
+        let (left, right, down) = match &self.nodes[parent as usize] {
+            Node::Inner { seps, children } => (children[li], children[li + 1], seps[li]),
+            _ => unreachable!(),
+        };
+        let (mut rseps, mut rchildren) = match &mut self.nodes[right as usize] {
+            Node::Inner { seps, children } => (std::mem::take(seps), std::mem::take(children)),
+            _ => unreachable!(),
+        };
+        match &mut self.nodes[left as usize] {
+            Node::Inner { seps, children } => {
+                seps.push(down);
+                seps.append(&mut rseps);
+                children.append(&mut rchildren);
+            }
+            _ => unreachable!(),
+        }
+        self.dealloc(right);
+        match &mut self.nodes[parent as usize] {
+            Node::Inner { seps, children } => {
+                seps.remove(li);
+                children.remove(li + 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn leaf_len(&self, id: u32) -> usize {
+        match &self.nodes[id as usize] {
+            Node::Leaf { keys, .. } => keys.len(),
+            _ => unreachable!("sibling of a leaf must be a leaf"),
+        }
+    }
+
+    fn inner_child_count(&self, id: u32) -> usize {
+        match &self.nodes[id as usize] {
+            Node::Inner { children, .. } => children.len(),
+            _ => unreachable!("sibling of an inner node must be an inner node"),
+        }
+    }
+
+    fn parent_sep(&self, parent: u32, i: usize) -> K {
+        match &self.nodes[parent as usize] {
+            Node::Inner { seps, .. } => seps[i],
+            _ => unreachable!(),
+        }
+    }
+
+    fn parent_sep_opt(&self, parent: u32, i: usize) -> Option<K> {
+        match &self.nodes[parent as usize] {
+            Node::Inner { seps, .. } => seps.get(i).copied(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl FrontierCursor {
+    /// The key of the entry under the cursor.
+    pub fn key<'a, K: Copy + Ord, V>(&self, map: &'a FrontierMap<K, V>) -> &'a K {
+        self.check(map);
+        match &map.nodes[self.leaf as usize] {
+            Node::Leaf { keys, .. } => &keys[self.idx as usize],
+            _ => unreachable!("cursor points at a non-leaf"),
+        }
+    }
+
+    /// The value of the entry under the cursor.
+    pub fn value<'a, K: Copy + Ord, V>(&self, map: &'a FrontierMap<K, V>) -> &'a V {
+        self.check(map);
+        match &map.nodes[self.leaf as usize] {
+            Node::Leaf { vals, .. } => &vals[self.idx as usize],
+            _ => unreachable!("cursor points at a non-leaf"),
+        }
+    }
+
+    /// The entry under the cursor.
+    pub fn entry<'a, K: Copy + Ord, V>(&self, map: &'a FrontierMap<K, V>) -> (&'a K, &'a V) {
+        self.check(map);
+        match &map.nodes[self.leaf as usize] {
+            Node::Leaf { keys, vals, .. } => (&keys[self.idx as usize], &vals[self.idx as usize]),
+            _ => unreachable!("cursor points at a non-leaf"),
+        }
+    }
+
+    /// Moves to the next entry in key order, or `None` at the end.
+    pub fn advance<K: Copy + Ord, V>(self, map: &FrontierMap<K, V>) -> Option<FrontierCursor> {
+        self.check(map);
+        match &map.nodes[self.leaf as usize] {
+            Node::Leaf { keys, next, .. } => {
+                if (self.idx as usize) + 1 < keys.len() {
+                    Some(FrontierCursor {
+                        idx: self.idx + 1,
+                        ..self
+                    })
+                } else if *next != NONE_ID {
+                    Some(FrontierCursor {
+                        leaf: *next,
+                        idx: 0,
+                        generation: self.generation,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => unreachable!("cursor points at a non-leaf"),
+        }
+    }
+
+    /// Moves to the previous entry in key order, or `None` at the start.
+    pub fn prev<K: Copy + Ord, V>(self, map: &FrontierMap<K, V>) -> Option<FrontierCursor> {
+        self.check(map);
+        match &map.nodes[self.leaf as usize] {
+            Node::Leaf { prev, .. } => {
+                if self.idx > 0 {
+                    Some(FrontierCursor {
+                        idx: self.idx - 1,
+                        ..self
+                    })
+                } else if *prev != NONE_ID {
+                    let prev_leaf = *prev;
+                    let last = match &map.nodes[prev_leaf as usize] {
+                        Node::Leaf { keys, .. } => keys.len() - 1,
+                        _ => unreachable!(),
+                    };
+                    Some(FrontierCursor {
+                        leaf: prev_leaf,
+                        idx: last as u32,
+                        generation: self.generation,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => unreachable!("cursor points at a non-leaf"),
+        }
+    }
+
+    fn check<K: Copy + Ord, V>(&self, map: &FrontierMap<K, V>) {
+        assert_eq!(
+            self.generation, map.generation,
+            "FrontierCursor used after the map was mutated"
+        );
+    }
+}
+
+/// Ordered iterator over a [`FrontierMap`] (see [`FrontierMap::iter`]).
+pub struct FrontierIter<'a, K, V> {
+    map: &'a FrontierMap<K, V>,
+    leaf: u32,
+    idx: usize,
+}
+
+impl<'a, K: Copy + Ord, V> Iterator for FrontierIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if self.leaf == NONE_ID {
+                return None;
+            }
+            match &self.map.nodes[self.leaf as usize] {
+                Node::Leaf {
+                    keys, vals, next, ..
+                } => {
+                    if self.idx < keys.len() {
+                        let i = self.idx;
+                        self.idx += 1;
+                        return Some((&keys[i], &vals[i]));
+                    }
+                    self.leaf = *next;
+                    self.idx = 0;
+                }
+                _ => unreachable!("leaf chain contains a non-leaf"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    /// Structural invariants: node occupancy, separator routing, leaf chain
+    /// order, and len bookkeeping.
+    fn check_invariants(map: &FrontierMap<u64, u64>) {
+        #[allow(clippy::too_many_arguments)]
+        fn walk(
+            map: &FrontierMap<u64, u64>,
+            id: u32,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            is_root: bool,
+            count: &mut usize,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) {
+            match &map.nodes[id as usize] {
+                Node::Leaf { keys, vals, .. } => {
+                    assert_eq!(keys.len(), vals.len());
+                    assert!(keys.len() <= LEAF_CAP, "leaf overflow");
+                    if !is_root {
+                        assert!(!keys.is_empty(), "empty non-root leaf");
+                    }
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted leaf");
+                    for k in keys {
+                        if let Some(lo) = lo {
+                            assert!(*k >= lo, "key below separator");
+                        }
+                        if let Some(hi) = hi {
+                            assert!(*k < hi, "key at/above separator");
+                        }
+                    }
+                    *count += keys.len();
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "leaves at unequal depth"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                }
+                Node::Inner { seps, children } => {
+                    assert_eq!(seps.len() + 1, children.len());
+                    assert!(children.len() >= 2, "inner node with < 2 children");
+                    assert!(children.len() <= INNER_CAP, "inner overflow");
+                    assert!(seps.windows(2).all(|w| w[0] < w[1]), "unsorted seps");
+                    for (i, &c) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(seps[i - 1]) };
+                        let chi = if i == children.len() - 1 {
+                            hi
+                        } else {
+                            Some(seps[i])
+                        };
+                        walk(map, c, clo, chi, false, count, depth + 1, leaf_depth);
+                    }
+                }
+                Node::Free { .. } => panic!("reachable free node"),
+            }
+        }
+        let mut count = 0;
+        let mut leaf_depth = None;
+        walk(
+            map,
+            map.root,
+            None,
+            None,
+            true,
+            &mut count,
+            0,
+            &mut leaf_depth,
+        );
+        assert_eq!(count, map.len(), "len out of sync");
+
+        // The leaf chain must visit every key in ascending order.
+        let chained: Vec<u64> = map.keys().copied().collect();
+        assert!(chained.windows(2).all(|w| w[0] < w[1]), "chain unsorted");
+        assert_eq!(chained.len(), map.len());
+    }
+
+    #[test]
+    fn empty_map() {
+        let map: FrontierMap<u64, u64> = FrontierMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.get(&1), None);
+        assert!(map.cursor_first().is_none());
+        assert!(map.cursor_last().is_none());
+        assert!(map.seek(&0).is_none());
+        assert!(map.first_key_value().is_none());
+        assert!(map.last_key_value().is_none());
+        assert_eq!(map.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut map = FrontierMap::new();
+        for i in 0..1000u64 {
+            assert_eq!(map.insert(i * 3, i), None);
+        }
+        assert_eq!(map.len(), 1000);
+        check_invariants(&map);
+        for i in 0..1000u64 {
+            assert_eq!(map.get(&(i * 3)), Some(&i));
+            assert_eq!(map.get(&(i * 3 + 1)), None);
+        }
+        assert_eq!(map.insert(30, 999), Some(10));
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u64 {
+            let expect = if i == 10 { 999 } else { i };
+            assert_eq!(map.remove(&(i * 3)), Some(expect), "i={i}");
+        }
+        assert!(map.is_empty());
+        check_invariants(&map);
+    }
+
+    #[test]
+    fn descending_inserts_hit_the_left_edge() {
+        let mut map = FrontierMap::new();
+        for i in (0..500u64).rev() {
+            map.insert(i, i);
+        }
+        check_invariants(&map);
+        assert_eq!(map.first_key_value(), Some((&0, &0)));
+        assert_eq!(map.last_key_value(), Some((&499, &499)));
+    }
+
+    #[test]
+    fn cursor_walks_both_ways() {
+        let mut map = FrontierMap::new();
+        for i in 0..200u64 {
+            map.insert(i * 2, i);
+        }
+        let mut cur = map.cursor_first();
+        let mut seen = Vec::new();
+        while let Some(c) = cur {
+            seen.push(*c.key(&map));
+            cur = c.advance(&map);
+        }
+        assert_eq!(seen, (0..200u64).map(|i| i * 2).collect::<Vec<_>>());
+
+        let mut cur = map.cursor_last();
+        let mut back = Vec::new();
+        while let Some(c) = cur {
+            back.push(*c.key(&map));
+            cur = c.prev(&map);
+        }
+        seen.reverse();
+        assert_eq!(back, seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutated")]
+    fn cursor_is_invalidated_by_mutation() {
+        let mut map = FrontierMap::new();
+        map.insert(1u64, 1u64);
+        map.insert(2, 2);
+        let cur = map.cursor_first().unwrap();
+        map.insert(3, 3);
+        let _ = cur.advance(&map);
+    }
+
+    #[test]
+    fn seek_semantics() {
+        let mut map = FrontierMap::new();
+        for i in 0..100u64 {
+            map.insert(i * 10, i);
+        }
+        let c = map.seek(&35).unwrap();
+        assert_eq!(*c.key(&map), 40);
+        let c = map.seek(&40).unwrap();
+        assert_eq!(*c.key(&map), 40);
+        let c = map.seek_gt(&40).unwrap();
+        assert_eq!(*c.key(&map), 50);
+        assert!(map.seek(&991).is_none());
+        assert!(map.seek_gt(&990).is_none());
+        let c = map.seek(&0).unwrap();
+        assert_eq!(*c.key(&map), 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        for n in [0usize, 1, 5, 31, 32, 33, 200, 1024, 5000] {
+            let mut bulk = FrontierMap::new();
+            bulk.bulk_load((0..n as u64).map(|i| (i * 7, i)));
+            assert_eq!(bulk.len(), n, "n={n}");
+            check_invariants(&bulk);
+            let collected: Vec<(u64, u64)> = bulk.iter().map(|(&k, &v)| (k, v)).collect();
+            let expect: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 7, i)).collect();
+            assert_eq!(collected, expect, "n={n}");
+            // The loaded tree must support further mutation.
+            bulk.insert(1, 1000);
+            bulk.remove(&0);
+            assert_eq!(bulk.get(&1), Some(&1000));
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut map: FrontierMap<u64, Vec<u64>> = FrontierMap::new();
+        map.get_or_insert_with(5, Vec::new).push(1);
+        map.get_or_insert_with(5, || panic!("must not run")).push(2);
+        assert_eq!(map.get(&5), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn differential_random_against_btreemap() {
+        let mut seed = 0x5EEDu64;
+        for round in 0..8 {
+            let mut map: FrontierMap<u64, u64> = FrontierMap::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let key_space = [16u64, 64, 256, 4096][round % 4];
+            for step in 0..4000 {
+                let k = xorshift(&mut seed) % key_space;
+                match xorshift(&mut seed) % 4 {
+                    0 => {
+                        assert_eq!(
+                            map.remove(&k),
+                            model.remove(&k),
+                            "round={round} step={step}"
+                        );
+                    }
+                    1 => {
+                        let c = map.seek(&k);
+                        let m = model.range(k..).next();
+                        assert_eq!(
+                            c.map(|c| (*c.key(&map), *c.value(&map))),
+                            m.map(|(&k, &v)| (k, v)),
+                            "seek round={round} step={step}"
+                        );
+                    }
+                    _ => {
+                        let v = xorshift(&mut seed);
+                        assert_eq!(
+                            map.insert(k, v),
+                            model.insert(k, v),
+                            "round={round} step={step}"
+                        );
+                    }
+                }
+                assert_eq!(map.len(), model.len());
+            }
+            check_invariants(&map);
+            let a: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            let b: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(a, b, "round={round}");
+        }
+    }
+
+    #[test]
+    fn monotone_churn_does_not_leak_nodes() {
+        // The delta-main pattern: monotone key inserts at the right edge while
+        // the oldest keys expire at the left edge.  Without rebalancing this
+        // leaks underfull leaves; with it the arena stays proportional to the
+        // live population.
+        let mut map = FrontierMap::new();
+        let window = 256u64;
+        for i in 0..20_000u64 {
+            map.insert(i, i);
+            if i >= window {
+                assert_eq!(map.remove(&(i - window)), Some(i - window));
+            }
+        }
+        assert_eq!(map.len(), window as usize);
+        check_invariants(&map);
+        let live_nodes = map
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n, Node::Free { .. }))
+            .count();
+        // 256 entries need at least 8 full leaves; allow generous slack but
+        // forbid the thousands a leak would produce.
+        assert!(live_nodes < 64, "arena leaked: {live_nodes} live nodes");
+        assert!(map.nodes.len() < 4096, "arena grew without bound");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut map = FrontierMap::new();
+        for i in 0..100u64 {
+            map.insert(i, i);
+        }
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.iter().count(), 0);
+        map.insert(7, 7);
+        assert_eq!(map.get(&7), Some(&7));
+        check_invariants(&map);
+    }
+}

@@ -105,6 +105,7 @@ mod error;
 pub mod events;
 pub mod exact;
 pub mod extensions;
+pub mod frontier;
 pub mod grid;
 pub mod merge_sweep;
 pub mod parallel;
@@ -130,7 +131,8 @@ pub use delta::{CompactionPolicy, CompactionReport, DeltaDataset, DeltaOptions};
 pub use engine::{EngineOptions, EngineRun, ExecutionStrategy, MaxRsEngine};
 pub use error::{CoreError, EngineError, Result};
 pub use events::{
-    validate_object, Event, EventError, EventOutcome, EventReport, LiveRecord, LiveSet,
+    total_order_bits, validate_object, Event, EventError, EventOutcome, EventReport, LiveRecord,
+    LiveSet,
 };
 pub use exact::{
     exact_max_rs, exact_max_rs_from_objects, load_objects, sort_objects_by_x, ExactMaxRsOptions,
@@ -138,11 +140,12 @@ pub use exact::{
 pub use extensions::{
     max_k_rs_in_memory, min_range_sum, min_rs_in_memory, min_strip_scan, MinStrip,
 };
+pub use frontier::{FrontierCursor, FrontierMap};
 pub use grid::{grid_cell, UniformGrid, GRID_CELL_LIMIT};
 pub use merge_sweep::{merge_sweep, merge_sweep_tree};
 pub use parallel::{available_parallelism, parallel_map};
 pub use plane_sweep::{
-    best_region_from_tuples, max_rs_in_memory, plane_sweep_slab, transform_objects,
+    best_region_from_tuples, max_rs_in_memory, plane_sweep_slab, transform_objects, SweepScratch,
 };
 pub use prepared::PreparedDataset;
 pub use query::{Query, QueryAnswer, QueryRun};

@@ -531,7 +531,7 @@ mod tests {
         spans.extend(SpanEvent::pair(2.5, 9.0, 2.0, 2, 2));
         spans.extend(SpanEvent::pair(1.0, 12.0, 4.0, 1, 2));
         spans.extend(SpanEvent::pair(3.0, 4.5, 5.0, 3, 3));
-        spans.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap());
+        spans.sort_unstable_by(|a, b| a.y.total_cmp(&b.y));
 
         let make_files = || -> Vec<TupleFile<SlabTuple>> {
             per_slab

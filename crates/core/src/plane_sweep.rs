@@ -26,11 +26,158 @@
 //! result of a MaxRS query promises.  The reported maximum value is identical
 //! either way.
 
+use std::cell::RefCell;
+
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
 
 use crate::records::{RectRecord, SlabTuple};
 use crate::result::MaxRsResult;
 use crate::segment_tree::SegmentTree;
+
+/// One sweep event: add `delta` to the elementary intervals `[lo, hi)` when
+/// the h-line reaches `y`.
+#[derive(Debug, Clone, Copy)]
+struct SweepEvent {
+    y: f64,
+    lo: u32,
+    hi: u32,
+    delta: f64,
+}
+
+/// Reusable buffers for the in-memory plane sweep.
+///
+/// [`plane_sweep_slab`] historically re-allocated its breakpoint array, event
+/// list and segment tree for *every slab*; a `SweepPass` group or a batched
+/// query runs thousands of slabs, so the allocator showed up in profiles.  A
+/// `SweepScratch` owns all of those buffers and [`SweepScratch::sweep_into`]
+/// reuses them across calls — the kernel allocates nothing once the buffers
+/// have grown to the high-water mark.
+///
+/// Callers that sweep repeatedly (the stream engine, the `Runner` recursion)
+/// hold one scratch per thread; the free function [`plane_sweep_slab`] keeps
+/// its historical signature by borrowing a thread-local scratch.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    clipped: Vec<RectRecord>,
+    xs: Vec<f64>,
+    events: Vec<SweepEvent>,
+    tree: SegmentTree,
+    tuples: Vec<SlabTuple>,
+}
+
+impl SweepScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    /// Runs the plane sweep over `rects` restricted to `slab`, writing the
+    /// slab-file tuples into `out` (which is cleared first).  Identical to
+    /// [`plane_sweep_slab`] but reuses this scratch's buffers.
+    pub fn sweep_into(&mut self, rects: &[RectRecord], slab: Interval, out: &mut Vec<SlabTuple>) {
+        out.clear();
+
+        // Clip to the slab and drop rectangles that fall outside it.
+        self.clipped.clear();
+        self.clipped.extend(rects.iter().filter_map(|r| {
+            r.rect
+                .clip_x(&slab)
+                .map(|rect| RectRecord::new(rect, r.weight))
+        }));
+        if self.clipped.is_empty() {
+            return;
+        }
+
+        // Elementary x-intervals: between consecutive breakpoints.
+        self.xs.clear();
+        self.xs.reserve(2 * self.clipped.len() + 2);
+        self.xs.push(slab.lo);
+        self.xs.push(slab.hi);
+        for r in &self.clipped {
+            self.xs.push(r.rect.x_lo);
+            self.xs.push(r.rect.x_hi);
+        }
+        self.xs.sort_unstable_by(f64::total_cmp);
+        self.xs.dedup();
+        if self.xs.len() < 2 {
+            // Degenerate slab (zero width): nothing can be covered with
+            // positive area.
+            return;
+        }
+        let xs = &self.xs;
+        let leaves = xs.len() - 1;
+        let leaf_of = |x: f64| -> u32 {
+            // Index of the breakpoint equal to x (every rectangle edge is a
+            // breakpoint).
+            xs.partition_point(|&b| b < x) as u32
+        };
+
+        // Sweep events: +weight at the bottom edge, -weight at the top edge.
+        self.events.clear();
+        self.events.reserve(2 * self.clipped.len());
+        for r in &self.clipped {
+            let lo = leaf_of(r.rect.x_lo);
+            let hi = leaf_of(r.rect.x_hi);
+            self.events.push(SweepEvent {
+                y: r.rect.y_lo,
+                lo,
+                hi,
+                delta: r.weight,
+            });
+            self.events.push(SweepEvent {
+                y: r.rect.y_hi,
+                lo,
+                hi,
+                delta: -r.weight,
+            });
+        }
+        // Unstable sort is safe: equal-y events are commuting range-adds, and
+        // tuples are emitted only after every event of the h-line is applied.
+        self.events.sort_unstable_by(|a, b| a.y.total_cmp(&b.y));
+
+        self.tree.reset(leaves);
+        out.reserve(self.events.len());
+        let mut i = 0;
+        while i < self.events.len() {
+            let y = self.events[i].y;
+            while i < self.events.len() && self.events[i].y == y {
+                let e = self.events[i];
+                self.tree.range_add(e.lo as usize, e.hi as usize, e.delta);
+                i += 1;
+            }
+            let sum = self.tree.global_max();
+            let lo = self.tree.max_leaf();
+            out.push(SlabTuple::new(y, self.xs[lo], self.xs[lo + 1], sum));
+        }
+    }
+
+    /// Like [`SweepScratch::sweep_into`], but returns a borrow of an
+    /// internal tuple buffer — the fully zero-alloc variant for callers that
+    /// only need to *read* the slab-file before the next sweep.
+    pub fn sweep(&mut self, rects: &[RectRecord], slab: Interval) -> &[SlabTuple] {
+        let mut out = std::mem::take(&mut self.tuples);
+        self.sweep_into(rects, slab, &mut out);
+        self.tuples = out;
+        &self.tuples
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the [`plane_sweep_slab`] free function, so
+    /// the `Runner` recursion (which shares `&Runner` across worker threads)
+    /// also reuses buffers across the slabs it sweeps.
+    static THREAD_SCRATCH: RefCell<SweepScratch> = RefCell::new(SweepScratch::new());
+}
+
+/// Calls `f` with this thread's shared [`SweepScratch`].
+///
+/// Used by sweep drivers that process many slabs on the same thread and want
+/// buffer reuse across *all* of them without threading a scratch through
+/// every signature.  Do not call [`plane_sweep_slab`] (or re-enter this
+/// function) from inside `f`: the scratch is already borrowed.
+pub fn with_sweep_scratch<R>(f: impl FnOnce(&mut SweepScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Runs the plane sweep over `rects` restricted to the x-range `slab` and
 /// returns the slab-file tuples in ascending y order (one tuple per distinct
@@ -38,81 +185,14 @@ use crate::segment_tree::SegmentTree;
 ///
 /// Rectangles are clipped to the slab; rectangles that do not intersect the
 /// slab are ignored.  An empty input produces an empty slab-file.
+///
+/// Internally this borrows a thread-local [`SweepScratch`], so repeated calls
+/// on one thread reuse the breakpoint / event / segment-tree buffers; only
+/// the returned `Vec` is allocated fresh.
 pub fn plane_sweep_slab(rects: &[RectRecord], slab: Interval) -> Vec<SlabTuple> {
-    // Clip to the slab and drop rectangles that fall outside it.
-    let clipped: Vec<RectRecord> = rects
-        .iter()
-        .filter_map(|r| {
-            r.rect
-                .clip_x(&slab)
-                .map(|rect| RectRecord::new(rect, r.weight))
-        })
-        .collect();
-    if clipped.is_empty() {
-        return Vec::new();
-    }
-
-    // Elementary x-intervals: between consecutive breakpoints.
-    let mut xs: Vec<f64> = Vec::with_capacity(2 * clipped.len() + 2);
-    xs.push(slab.lo);
-    xs.push(slab.hi);
-    for r in &clipped {
-        xs.push(r.rect.x_lo);
-        xs.push(r.rect.x_hi);
-    }
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs.dedup();
-    if xs.len() < 2 {
-        // Degenerate slab (zero width): nothing can be covered with positive area.
-        return Vec::new();
-    }
-    let leaves = xs.len() - 1;
-    let leaf_of = |x: f64| -> usize {
-        // Index of the breakpoint equal to x (every rectangle edge is a breakpoint).
-        xs.partition_point(|&b| b < x)
-    };
-
-    // Sweep events: +weight at the bottom edge, -weight at the top edge.
-    struct Event {
-        y: f64,
-        lo: usize,
-        hi: usize,
-        delta: f64,
-    }
-    let mut events: Vec<Event> = Vec::with_capacity(2 * clipped.len());
-    for r in &clipped {
-        let lo = leaf_of(r.rect.x_lo);
-        let hi = leaf_of(r.rect.x_hi);
-        events.push(Event {
-            y: r.rect.y_lo,
-            lo,
-            hi,
-            delta: r.weight,
-        });
-        events.push(Event {
-            y: r.rect.y_hi,
-            lo,
-            hi,
-            delta: -r.weight,
-        });
-    }
-    events.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap());
-
-    let mut tree = SegmentTree::new(leaves);
-    let mut tuples: Vec<SlabTuple> = Vec::with_capacity(events.len());
-    let mut i = 0;
-    while i < events.len() {
-        let y = events[i].y;
-        while i < events.len() && events[i].y == y {
-            let e = &events[i];
-            tree.range_add(e.lo, e.hi, e.delta);
-            i += 1;
-        }
-        let sum = tree.global_max();
-        let lo = tree.max_leaf();
-        tuples.push(SlabTuple::new(y, xs[lo], xs[lo + 1], sum));
-    }
-    tuples
+    let mut out = Vec::new();
+    with_sweep_scratch(|scratch| scratch.sweep_into(rects, slab, &mut out));
+    out
 }
 
 /// Transforms objects into their centered rectangles (`r_o` in the paper).

@@ -102,7 +102,7 @@ fn breakpoints(coords: impl Iterator<Item = f64>, half: f64) -> Vec<f64> {
         out.push(c - half);
         out.push(c + half);
     }
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.sort_unstable_by(f64::total_cmp);
     out.dedup();
     // Sentinels so that windows(2) also covers the outside cells.
     let lo = out.first().copied().unwrap_or(0.0) - 1.0;

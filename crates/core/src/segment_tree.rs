@@ -6,27 +6,56 @@
 //! rectangle's x-range, (a) the maximum location-weight over the slab and
 //! (b) one contiguous run of elementary intervals attaining it.  Both are
 //! answered in `O(log n)` by this tree.
+//!
+//! The layout is the *iterative* power-of-two scheme: leaves live at indices
+//! `n2..n2 + n` where `n2 = next_pow2(n)`, each array holds `2 * n2` slots
+//! (down from the `4 * n` of the naive recursive layout), and the hot
+//! operations — [`SegmentTree::range_add`], [`SegmentTree::global_max`],
+//! [`SegmentTree::max_leaf`] — walk the tree with loops instead of recursion.
+//! Padding leaves in `n..n2` are pinned to `-inf` so they can never win a
+//! maximum query, even when every real leaf is negative (the MinRS weight
+//! scale is `-1`).  [`SegmentTree::reset`] re-dimensions the tree in place so
+//! a sweep scratch can reuse the allocation across slabs.
 
 /// Range-add / range-max segment tree over `n` leaves with lazy propagation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SegmentTree {
     n: usize,
-    /// `max[v]` = maximum leaf value in the subtree of `v`, including every
-    /// pending addition stored at `v` or above it... pending additions at `v`
-    /// itself are already folded in; `lazy[v]` still has to be pushed to the
-    /// children before they are inspected.
+    /// Leaf span of the power-of-two layout (`next_pow2(n)`).
+    n2: usize,
+    /// `max[v]` = maximum leaf value in the subtree of `v`, with every pending
+    /// addition stored at `v` itself already folded in; `add[v]` still has to
+    /// be accumulated on the way down before children are inspected.
     max: Vec<f64>,
-    lazy: Vec<f64>,
+    add: Vec<f64>,
 }
 
 impl SegmentTree {
     /// Creates a tree over `n` leaves, all initialized to 0.
     pub fn new(n: usize) -> Self {
+        let mut tree = SegmentTree::default();
+        tree.reset(n);
+        tree
+    }
+
+    /// Re-dimensions the tree to `n` zero-valued leaves, reusing the existing
+    /// allocation when it is large enough.
+    pub fn reset(&mut self, n: usize) {
         assert!(n > 0, "segment tree needs at least one leaf");
-        SegmentTree {
-            n,
-            max: vec![0.0; 4 * n],
-            lazy: vec![0.0; 4 * n],
+        let n2 = n.next_power_of_two();
+        self.n = n;
+        self.n2 = n2;
+        self.max.clear();
+        self.max.resize(2 * n2, 0.0);
+        self.add.clear();
+        self.add.resize(2 * n2, 0.0);
+        // Padding leaves must lose every maximum query, including against
+        // all-negative real leaves.
+        for slot in &mut self.max[n2 + n..] {
+            *slot = f64::NEG_INFINITY;
+        }
+        for v in (1..n2).rev() {
+            self.max[v] = self.max[2 * v].max(self.max[2 * v + 1]);
         }
     }
 
@@ -35,7 +64,8 @@ impl SegmentTree {
         self.n
     }
 
-    /// `true` when the tree has no leaves (never the case; kept for API symmetry).
+    /// `true` when the tree has no leaves (only before the first
+    /// [`SegmentTree::reset`] of a default-constructed tree).
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -47,7 +77,24 @@ impl SegmentTree {
             return;
         }
         assert!(hi <= self.n, "range end {hi} exceeds leaf count {}", self.n);
-        self.add(1, 0, self.n, lo, hi, delta);
+        let (l0, r0) = (lo + self.n2, hi - 1 + self.n2);
+        let (mut l, mut r) = (l0, r0 + 1);
+        while l < r {
+            if l & 1 == 1 {
+                self.max[l] += delta;
+                self.add[l] += delta;
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                self.max[r] += delta;
+                self.add[r] += delta;
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        self.pull_up(l0);
+        self.pull_up(r0);
     }
 
     /// The maximum leaf value.
@@ -58,7 +105,13 @@ impl SegmentTree {
     /// Value of a single leaf (mainly for tests and assertions).
     pub fn leaf_value(&self, idx: usize) -> f64 {
         assert!(idx < self.n);
-        self.leaf(1, 0, self.n, idx, 0.0)
+        let mut acc = self.max[idx + self.n2];
+        let mut v = (idx + self.n2) >> 1;
+        while v >= 1 {
+            acc += self.add[v];
+            v >>= 1;
+        }
+        acc
     }
 
     /// Returns a leaf attaining the global maximum (the leftmost one on the
@@ -73,22 +126,18 @@ impl SegmentTree {
     /// The search descends by comparing sibling maxima only (never a
     /// recomputed value against the root maximum), so it cannot be derailed by
     /// floating-point re-association when weights are not exactly
-    /// representable.
+    /// representable.  Padding leaves hold `-inf` and therefore never lie on
+    /// the argmax path.
     pub fn max_leaf(&self) -> usize {
         let mut v = 1usize;
-        let mut node_lo = 0usize;
-        let mut node_hi = self.n;
-        while node_hi - node_lo > 1 {
-            let mid = (node_lo + node_hi) / 2;
-            if self.max[2 * v] >= self.max[2 * v + 1] {
-                v *= 2;
-                node_hi = mid;
+        while v < self.n2 {
+            v = if self.max[2 * v] >= self.max[2 * v + 1] {
+                2 * v
             } else {
-                v = 2 * v + 1;
-                node_lo = mid;
-            }
+                2 * v + 1
+            };
         }
-        node_lo
+        v - self.n2
     }
 
     /// Returns the leftmost maximal run `[lo, hi)` of leaves whose value
@@ -99,97 +148,71 @@ impl SegmentTree {
     pub fn max_run(&self) -> (usize, usize) {
         let target = self.global_max();
         let start = self
-            .find_first_at_least(1, 0, self.n, target, 0.0)
+            .find_first_at_least(1, target, 0.0)
             .expect("global max must be attained by some leaf");
         // Find the first leaf after `start` whose value is strictly below the
-        // maximum; the run ends there.
+        // maximum; the run ends there.  Padding leaves hold `-inf`, so a run
+        // that reaches the last real leaf stops at the first padding slot —
+        // clamp it back to the real leaf count.
         let end = self
-            .find_first_below(1, 0, self.n, start, target, 0.0)
-            .unwrap_or(self.n);
+            .find_first_below(1, start, target, 0.0)
+            .unwrap_or(self.n)
+            .min(self.n);
         (start, end)
     }
 
     // ---- internals -----------------------------------------------------------
 
-    fn add(&mut self, v: usize, node_lo: usize, node_hi: usize, lo: usize, hi: usize, delta: f64) {
-        if lo <= node_lo && node_hi <= hi {
-            self.max[v] += delta;
-            self.lazy[v] += delta;
-            return;
+    /// Recomputes the ancestors of tree slot `v` after their descendants
+    /// changed.
+    fn pull_up(&mut self, mut v: usize) {
+        v >>= 1;
+        while v >= 1 {
+            self.max[v] = self.max[2 * v].max(self.max[2 * v + 1]) + self.add[v];
+            v >>= 1;
         }
-        let mid = (node_lo + node_hi) / 2;
-        if lo < mid {
-            self.add(2 * v, node_lo, mid, lo, hi.min(mid), delta);
-        }
-        if hi > mid {
-            self.add(2 * v + 1, mid, node_hi, lo.max(mid), hi, delta);
-        }
-        self.max[v] = self.max[2 * v].max(self.max[2 * v + 1]) + self.lazy[v];
     }
 
-    fn leaf(&self, v: usize, node_lo: usize, node_hi: usize, idx: usize, acc: f64) -> f64 {
-        if node_hi - node_lo == 1 {
-            return self.max[v] + acc;
-        }
-        let acc = acc + self.lazy[v];
-        let mid = (node_lo + node_hi) / 2;
-        if idx < mid {
-            self.leaf(2 * v, node_lo, mid, idx, acc)
-        } else {
-            self.leaf(2 * v + 1, mid, node_hi, idx, acc)
-        }
+    /// `[lo, hi)` leaf range covered by tree slot `v`.
+    fn node_span(&self, v: usize) -> (usize, usize) {
+        let level = usize::BITS - 1 - v.leading_zeros();
+        let width = self.n2 >> level;
+        let lo = (v - (1usize << level)) * width;
+        (lo, lo + width)
     }
 
     /// Leftmost leaf whose value is `>= target`, or `None`.
-    fn find_first_at_least(
-        &self,
-        v: usize,
-        node_lo: usize,
-        node_hi: usize,
-        target: f64,
-        acc: f64,
-    ) -> Option<usize> {
+    fn find_first_at_least(&self, v: usize, target: f64, acc: f64) -> Option<usize> {
         if self.max[v] + acc < target {
             return None;
         }
-        if node_hi - node_lo == 1 {
-            return Some(node_lo);
+        if v >= self.n2 {
+            return Some(v - self.n2);
         }
-        let acc = acc + self.lazy[v];
-        let mid = (node_lo + node_hi) / 2;
-        self.find_first_at_least(2 * v, node_lo, mid, target, acc)
-            .or_else(|| self.find_first_at_least(2 * v + 1, mid, node_hi, target, acc))
+        let acc = acc + self.add[v];
+        self.find_first_at_least(2 * v, target, acc)
+            .or_else(|| self.find_first_at_least(2 * v + 1, target, acc))
     }
 
     /// Leftmost leaf at index `>= from` whose value is `< target`, or `None`.
-    fn find_first_below(
-        &self,
-        v: usize,
-        node_lo: usize,
-        node_hi: usize,
-        from: usize,
-        target: f64,
-        acc: f64,
-    ) -> Option<usize> {
+    fn find_first_below(&self, v: usize, from: usize, target: f64, acc: f64) -> Option<usize> {
+        let (node_lo, node_hi) = self.node_span(v);
         if node_hi <= from {
             return None;
         }
-        // If every leaf of this subtree is >= target it cannot contain the answer
-        // ... only when the subtree minimum is >= target.  We do not track
-        // minima, so descend unless the subtree lies left of `from`; the
-        // traversal is still O(run length + log n), which is fine because the
-        // run is part of the output.
-        if node_hi - node_lo == 1 {
+        // Descend unless the subtree lies left of `from`; the traversal is
+        // still O(run length + log n), which is fine because the run is part
+        // of the output.
+        if v >= self.n2 {
             return if self.max[v] + acc < target {
                 Some(node_lo)
             } else {
                 None
             };
         }
-        let acc = acc + self.lazy[v];
-        let mid = (node_lo + node_hi) / 2;
-        self.find_first_below(2 * v, node_lo, mid, from, target, acc)
-            .or_else(|| self.find_first_below(2 * v + 1, mid, node_hi, from, target, acc))
+        let acc = acc + self.add[v];
+        self.find_first_below(2 * v, from, target, acc)
+            .or_else(|| self.find_first_below(2 * v + 1, from, target, acc))
     }
 }
 
@@ -270,6 +293,39 @@ mod tests {
     }
 
     #[test]
+    fn all_negative_leaves_ignore_padding() {
+        // 5 leaves pad to 8; the three padding leaves must never win even when
+        // every real leaf goes negative (the MinRS weight scale is -1).
+        let mut t = SegmentTree::new(5);
+        t.range_add(0, 5, -3.0);
+        t.range_add(2, 3, 1.0);
+        // values: -3 -3 -2 -3 -3
+        assert_eq!(t.global_max(), -2.0);
+        assert_eq!(t.max_leaf(), 2);
+        assert_eq!(t.max_run(), (2, 3));
+        t.range_add(2, 3, -1.0);
+        // values: all -3; the run must stop at the real leaf count.
+        assert_eq!(t.global_max(), -3.0);
+        assert_eq!(t.max_run(), (0, 5));
+    }
+
+    #[test]
+    fn reset_reuses_the_allocation() {
+        let mut t = SegmentTree::new(100);
+        t.range_add(10, 90, 7.0);
+        t.reset(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.global_max(), 0.0);
+        t.range_add(1, 3, 2.0);
+        assert_eq!(t.global_max(), 2.0);
+        assert_eq!(t.max_run(), (1, 3));
+        assert_eq!(t.leaf_value(0), 0.0);
+        t.reset(100);
+        assert_eq!(t.global_max(), 0.0);
+        assert_eq!(t.max_run(), (0, 100));
+    }
+
+    #[test]
     fn randomized_against_model() {
         let mut seed = 0xC0FFEEu64;
         let mut next = move || {
@@ -300,6 +356,31 @@ mod tests {
                 assert_eq!(tree.global_max(), model.global_max(), "n={n} step={step}");
                 assert_eq!(tree.max_run(), model.max_run(), "n={n} step={step}");
                 assert_eq!(tree.max_leaf(), model.max_run().0, "n={n} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_leaf_values_match_model() {
+        let mut seed = 0xDEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in [1usize, 2, 6, 16, 31] {
+            let mut tree = SegmentTree::new(n);
+            let mut model = Model::new(n);
+            for _ in 0..200 {
+                let lo = (next() as usize) % n;
+                let hi = lo + 1 + (next() as usize) % (n - lo);
+                let w = ((next() % 21) as f64) - 10.0;
+                tree.range_add(lo, hi, w);
+                model.range_add(lo, hi, w);
+                for i in 0..n {
+                    assert_eq!(tree.leaf_value(i), model.0[i], "n={n} leaf={i}");
+                }
             }
         }
     }

@@ -1235,7 +1235,7 @@ pub fn select_shard_boundaries(objects: &[WeightedPoint], k: usize, sample_cap: 
         }
         sample
     };
-    sample.sort_by(|a, b| a.partial_cmp(b).expect("object x must not be NaN"));
+    sample.sort_unstable_by(f64::total_cmp);
     let len = sample.len();
     // Quantile boundaries, deduplicated to a strictly increasing run; a
     // boundary at the global minimum would leave an empty leading shard

@@ -132,7 +132,7 @@ pub fn compute_partition(
                     }
                 }
             }
-            sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sample.sort_unstable_by(f64::total_cmp);
             (1..m)
                 .map(|i| sample[(i * sample.len() / m).min(sample.len().saturating_sub(1))])
                 .collect()

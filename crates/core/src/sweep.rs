@@ -46,7 +46,7 @@ use crate::error::{CoreError, Result};
 use crate::exact::ExactMaxRsOptions;
 use crate::merge_sweep::{merge_sweep, merge_sweep_tree};
 use crate::parallel::parallel_map;
-use crate::plane_sweep::plane_sweep_slab;
+use crate::plane_sweep::with_sweep_scratch;
 use crate::records::{ObjectRecord, RectRecord, SlabTuple};
 use crate::result::MaxRsResult;
 use crate::slab::{compute_partition, distribute, BoundarySource};
@@ -284,7 +284,8 @@ pub fn transform_to_scaled_rect_file(
 /// whichever comes first; `+∞` when nothing lies beyond `x`.
 ///
 /// These breakpoints are exactly the leaf boundaries of the in-memory plane
-/// sweep over `slab` (see [`plane_sweep_slab`]), computed here with one
+/// sweep over `slab` (see [`crate::plane_sweep::plane_sweep_slab`]), computed
+/// here with one
 /// sequential `O(N/B)` scan of the object file instead of materializing the
 /// arrangement.  Used to widen distribution-sweep max-intervals back to full
 /// arrangement cells (stage 4 of the kernel).
@@ -515,11 +516,16 @@ impl<'a> Runner<'a> {
         if !self.opts.keep_intermediates {
             self.ctx.delete_file(input)?;
         }
-        let tuples = plane_sweep_slab(&rects, slab);
+        // Borrow the worker thread's sweep scratch: the recursion sweeps one
+        // in-memory slab after another on this thread, and the breakpoint /
+        // event / segment-tree buffers are reused across all of them.
         let mut writer = self.ctx.create_writer::<SlabTuple>()?;
-        for t in &tuples {
-            writer.push(t)?;
-        }
+        with_sweep_scratch(|scratch| -> Result<()> {
+            for t in scratch.sweep(&rects, slab) {
+                writer.push(t)?;
+            }
+            Ok(())
+        })?;
         writer.finish().map_err(CoreError::from)
     }
 }

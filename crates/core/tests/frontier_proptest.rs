@@ -1,0 +1,212 @@
+//! Differential property tests: [`FrontierMap`] against the `BTreeMap`
+//! reference model.
+//!
+//! Every operation the sweep structures use — insert, remove, point lookup,
+//! the `get_or_insert_with` single-descent upsert, `seek` / `seek_gt`
+//! successor queries, full cursor walks in both
+//! directions, `bulk_load` from sorted input — is replayed against
+//! `std::collections::BTreeMap` on randomized operation sequences, including
+//! float keys routed through [`total_order_bits`] (the `NaN`-free total-order
+//! encoding every float-keyed frontier in the workspace uses).  The map's
+//! answers must match the model *exactly*; the model is the specification.
+
+use std::collections::BTreeMap;
+
+use maxrs_core::{total_order_bits, FrontierMap};
+use proptest::prelude::*;
+
+/// Replays one op sequence against both structures and checks every answer.
+///
+/// `ops` entries are `(op selector, key, value)`; keys are reduced modulo
+/// `key_space` so sequences revisit keys often enough to exercise
+/// replacement, removal and rebalancing.
+fn run_differential(ops: &[(u8, u64, u64)], key_space: u64) {
+    let mut map: FrontierMap<u64, u64> = FrontierMap::new();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(op, key, value) in ops {
+        let k = key % key_space;
+        match op % 7 {
+            0 | 1 => {
+                assert_eq!(map.insert(k, value), model.insert(k, value), "insert {k}");
+            }
+            2 => {
+                assert_eq!(map.remove(&k), model.remove(&k), "remove {k}");
+            }
+            3 => {
+                assert_eq!(map.get(&k), model.get(&k), "get {k}");
+            }
+            4 => {
+                let got = map.seek(&k).map(|c| (*c.key(&map), *c.value(&map)));
+                let want = model.range(k..).next().map(|(&k, &v)| (k, v));
+                assert_eq!(got, want, "seek {k}");
+            }
+            5 => {
+                let got = map.seek_gt(&k).map(|c| (*c.key(&map), *c.value(&map)));
+                let want = model.range(k + 1..).next().map(|(&k, &v)| (k, v));
+                assert_eq!(got, want, "seek_gt {k}");
+            }
+            _ => {
+                // Upsert-then-mutate through the returned reference, against
+                // the model's entry API.
+                let got = {
+                    let v = map.get_or_insert_with(k, || value);
+                    *v = v.wrapping_add(1);
+                    *v
+                };
+                let want = {
+                    let v = model.entry(k).or_insert(value);
+                    *v = v.wrapping_add(1);
+                    *v
+                };
+                assert_eq!(got, want, "get_or_insert_with {k}");
+            }
+        }
+        assert_eq!(map.len(), model.len(), "len after op on {k}");
+    }
+    // Full forward walk via cursor must equal the model's iteration order.
+    let mut walked = Vec::new();
+    let mut cur = map.cursor_first();
+    while let Some(c) = cur {
+        walked.push((*c.key(&map), *c.value(&map)));
+        cur = c.advance(&map);
+    }
+    let expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(walked, expected, "forward cursor walk");
+    // And the backward walk is its mirror.
+    let mut back = Vec::new();
+    let mut cur = map.cursor_last();
+    while let Some(c) = cur {
+        back.push((*c.key(&map), *c.value(&map)));
+        cur = c.prev(&map);
+    }
+    back.reverse();
+    assert_eq!(back, expected, "backward cursor walk");
+    assert_eq!(
+        map.first_key_value().map(|(&k, &v)| (k, v)),
+        model.first_key_value().map(|(&k, &v)| (k, v))
+    );
+    assert_eq!(
+        map.last_key_value().map(|(&k, &v)| (k, v)),
+        model.last_key_value().map(|(&k, &v)| (k, v))
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random op soup over a small key space (dense collisions: lots of
+    /// replacement, removal and leaf merges).
+    #[test]
+    fn dense_key_space_matches_btreemap(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..2000),
+    ) {
+        run_differential(&ops, 64);
+    }
+
+    /// Random op soup over a sparse key space (deep trees, sparse leaves).
+    #[test]
+    fn sparse_key_space_matches_btreemap(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..2000),
+    ) {
+        run_differential(&ops, u64::MAX);
+    }
+
+    /// Float keys through `total_order_bits`: ordered exactly like the f64s
+    /// they encode, and round-trippable through the map.
+    #[test]
+    fn float_keys_via_total_order_bits(
+        xs in prop::collection::vec(-1.0e9f64..1.0e9f64, 1..300),
+    ) {
+        let mut map: FrontierMap<u64, f64> = FrontierMap::new();
+        let mut model: BTreeMap<u64, f64> = BTreeMap::new();
+        for &x in &xs {
+            map.insert(total_order_bits(x), x);
+            model.insert(total_order_bits(x), x);
+        }
+        // Walking the map in key order must yield the floats in numeric order.
+        let walked: Vec<f64> = map.values().copied().collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        sorted.dedup();
+        prop_assert_eq!(walked.len(), sorted.len());
+        for (a, b) in walked.iter().zip(&sorted) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Successor queries agree with the model.
+        for &x in &xs {
+            let got = map.seek_gt(&total_order_bits(x)).map(|c| *c.value(&map));
+            let want = model
+                .range(total_order_bits(x) + 1..)
+                .next()
+                .map(|(_, &v)| v);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// `bulk_load` from sorted input equals key-by-key insertion, and the
+    /// loaded tree supports the full mutation surface afterwards.
+    #[test]
+    fn bulk_load_equals_incremental(
+        keys in prop::collection::vec(any::<u64>(), 0..1500),
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..300),
+    ) {
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        let mut map: FrontierMap<u64, u64> = FrontierMap::new();
+        map.bulk_load(sorted.iter().map(|&k| (k, k.wrapping_mul(3))));
+        let mut model: BTreeMap<u64, u64> =
+            sorted.iter().map(|&k| (k, k.wrapping_mul(3))).collect();
+        prop_assert_eq!(map.len(), model.len());
+
+        // Mutate both after the load; answers must stay in lockstep.
+        for &(op, key, value) in &ops {
+            match op % 3 {
+                0 => {
+                    prop_assert_eq!(map.insert(key, value), model.insert(key, value));
+                }
+                1 => {
+                    prop_assert_eq!(map.remove(&key), model.remove(&key));
+                }
+                _ => {
+                    let got = map.seek(&key).map(|c| (*c.key(&map), *c.value(&map)));
+                    let want = model.range(key..).next().map(|(&k, &v)| (k, v));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        let a: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+        let b: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Range walks: a cursor seeked to a random lower bound and advanced to a
+    /// random upper bound visits exactly the model's `range(lo..hi)`.
+    #[test]
+    fn range_walks_match_btreemap(
+        keys in prop::collection::vec(any::<u16>(), 0..800),
+        bounds in prop::collection::vec((any::<u16>(), any::<u16>()), 1..40),
+    ) {
+        let mut map: FrontierMap<u64, u64> = FrontierMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &keys {
+            map.insert(k as u64, k as u64 + 1);
+            model.insert(k as u64, k as u64 + 1);
+        }
+        for &(a, b) in &bounds {
+            let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+            let mut got = Vec::new();
+            let mut cur = map.seek(&lo);
+            while let Some(c) = cur {
+                if *c.key(&map) >= hi {
+                    break;
+                }
+                got.push((*c.key(&map), *c.value(&map)));
+                cur = c.advance(&map);
+            }
+            let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, want, "range [{}, {})", lo, hi);
+        }
+    }
+}

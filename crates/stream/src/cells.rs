@@ -11,8 +11,9 @@
 //! `O(log n)` against these indexes instead of the `O(N/B)` scan the external
 //! path pays.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
+use maxrs_core::FrontierMap;
 use maxrs_geometry::Interval;
 
 /// Total-order key for a finite, non-NaN `f64`: the usual sign-flip bit
@@ -39,18 +40,25 @@ impl FloatKey {
 
 /// A multiset of finite floats with `O(log n)` insert/remove, minimum and
 /// strict-successor queries.
+///
+/// Backed by a locality-aware [`FrontierMap`] keyed on the total-order bits:
+/// the engine's breakpoint updates cluster around the rectangles it is
+/// touching, so most probes hit the map's last-accessed leaf, and the
+/// successor query walks a cursor instead of re-probing a `BTreeMap` range.
 #[derive(Debug, Default)]
 pub(crate) struct FloatMultiset {
-    map: BTreeMap<FloatKey, (f64, usize)>,
+    map: FrontierMap<u64, (f64, usize)>,
 }
 
 impl FloatMultiset {
     pub(crate) fn insert(&mut self, x: f64) {
-        self.map.entry(FloatKey::new(x)).or_insert((x, 0)).1 += 1;
+        self.map
+            .get_or_insert_with(FloatKey::new(x).raw(), || (x, 0))
+            .1 += 1;
     }
 
     pub(crate) fn remove(&mut self, x: f64) {
-        let key = FloatKey::new(x);
+        let key = FloatKey::new(x).raw();
         if let Some(entry) = self.map.get_mut(&key) {
             entry.1 -= 1;
             if entry.1 == 0 {
@@ -63,17 +71,21 @@ impl FloatMultiset {
 
     /// The smallest stored value.
     pub(crate) fn min(&self) -> Option<f64> {
-        self.map.values().next().map(|&(x, _)| x)
+        self.map.first_key_value().map(|(_, &(x, _))| x)
     }
 
     /// The smallest stored value strictly greater than `x` (by `f64`
     /// comparison, so `-0.0` and `+0.0` count as equal).
     pub(crate) fn successor_after(&self, x: f64) -> Option<f64> {
-        use std::ops::Bound::{Excluded, Unbounded};
-        self.map
-            .range((Excluded(FloatKey::new(x)), Unbounded))
-            .map(|(_, &(v, _))| v)
-            .find(|&v| v > x)
+        let mut cur = self.map.seek_gt(&FloatKey::new(x).raw());
+        while let Some(c) = cur {
+            let &(v, _) = c.value(&self.map);
+            if v > x {
+                return Some(v);
+            }
+            cur = c.advance(&self.map);
+        }
+        None
     }
 
     #[cfg(test)]

@@ -39,8 +39,8 @@
 use std::collections::HashMap;
 
 use maxrs_core::{
-    grid_cell, max_rs_in_memory, plane_sweep_slab, Event, EventOutcome, ExecutionStrategy, LiveSet,
-    MaxRsResult, Query, QueryAnswer, QueryRun, RectRecord,
+    grid_cell, max_rs_in_memory, Event, EventOutcome, ExecutionStrategy, FrontierMap, LiveSet,
+    MaxRsResult, Query, QueryAnswer, QueryRun, RectRecord, SweepScratch,
 };
 use maxrs_em::IoSnapshot;
 use maxrs_geometry::{Interval, Point, Rect, RectSize, WeightedPoint};
@@ -129,20 +129,28 @@ pub struct StreamEngine {
     live: LiveSet,
     /// Per-object maintenance geometry, keyed by id.
     geometry: HashMap<u64, Geometry>,
-    /// Non-empty maintenance cells by column index.
-    cells: std::collections::BTreeMap<i64, Cell>,
+    /// Non-empty maintenance cells by column index, in a locality-aware
+    /// [`FrontierMap`]: events touch at most two *adjacent* columns, so
+    /// nearly every probe hits the map's last-accessed leaf.
+    cells: FrontierMap<i64, Cell>,
     /// Columns that are currently dirty — the only cells an answer may need
     /// to re-sweep, kept explicitly so answering never scans the whole grid.
-    dirty_cols: std::collections::BTreeSet<i64>,
+    dirty_cols: FrontierMap<i64, ()>,
     /// Candidate index of the *clean* cells, ordered by
     /// [`candidate_key`](crate::cells) (sum desc, y asc, column asc): the
     /// first entry is the best clean candidate, maintained incrementally on
     /// dirty/clean transitions so answers do not visit clean cells at all.
-    clean_best: std::collections::BTreeSet<(u64, u64, i64)>,
+    clean_best: FrontierMap<(u64, u64, i64), ()>,
     /// Multiset of every live rectangle's x-edges (arrangement breakpoints).
     x_edges: FloatMultiset,
     /// Multiset of every live rectangle's sweep event y's.
     y_events: FloatMultiset,
+    /// Reusable plane-sweep buffers (breakpoints, events, segment tree) —
+    /// cell re-sweeps allocate nothing once these reach their high-water
+    /// mark.
+    scratch: SweepScratch,
+    /// Reusable buffer for the rectangles handed to a cell re-sweep.
+    rect_buf: Vec<RectRecord>,
     /// Live objects with strictly positive weight.
     positive_weight: usize,
     events_since_answer: u64,
@@ -159,11 +167,13 @@ impl StreamEngine {
             live: LiveSet::new(config.window).map_err(StreamError::from)?,
             config,
             geometry: HashMap::new(),
-            cells: std::collections::BTreeMap::new(),
-            dirty_cols: std::collections::BTreeSet::new(),
-            clean_best: std::collections::BTreeSet::new(),
+            cells: FrontierMap::new(),
+            dirty_cols: FrontierMap::new(),
+            clean_best: FrontierMap::new(),
             x_edges: FloatMultiset::default(),
             y_events: FloatMultiset::default(),
+            scratch: SweepScratch::new(),
+            rect_buf: Vec::new(),
             positive_weight: 0,
             events_since_answer: 0,
         })
@@ -321,14 +331,14 @@ impl StreamEngine {
     /// Marks one cell dirty, maintaining the dirty set and evicting its
     /// (now stale) entry from the clean-candidate index.
     fn mark_cell_dirty(
-        clean_best: &mut std::collections::BTreeSet<(u64, u64, i64)>,
-        dirty_cols: &mut std::collections::BTreeSet<i64>,
+        clean_best: &mut FrontierMap<(u64, u64, i64), ()>,
+        dirty_cols: &mut FrontierMap<i64, ()>,
         col: i64,
         cell: &mut Cell,
     ) {
         if !cell.dirty {
             cell.dirty = true;
-            dirty_cols.insert(col);
+            dirty_cols.insert(col, ());
             if let Some(c) = cell.cached.take() {
                 clean_best.remove(&crate::cells::candidate_key(&c, col));
             }
@@ -339,7 +349,7 @@ impl StreamEngine {
     /// Routes a just-committed object into the maintenance structures.
     fn attach(&mut self, id: u64, object: WeightedPoint, rect: Rect, col_lo: i64, col_hi: i64) {
         for col in col_lo..=col_hi {
-            let cell = self.cells.entry(col).or_default();
+            let cell = self.cells.get_or_insert_with(col, Cell::default);
             Self::mark_cell_dirty(&mut self.clean_best, &mut self.dirty_cols, col, cell);
             cell.ids.insert(id);
             cell.bound += object.weight;
@@ -421,18 +431,16 @@ impl StreamEngine {
             col as f64 * self.cell_width,
             (col + 1) as f64 * self.cell_width,
         );
-        let rects: Vec<RectRecord> = self.cells[&col]
-            .ids
-            .iter()
-            .map(|id| {
-                let g = &self.geometry[id];
-                RectRecord::new(g.rect, g.weight)
-            })
-            .collect();
-        let bound = rects.iter().map(|r| r.weight).sum();
-        let tuples = plane_sweep_slab(&rects, interval);
+        self.rect_buf.clear();
+        let members = &self.cells.get(&col).expect("swept cell exists").ids;
+        self.rect_buf.extend(members.iter().map(|id| {
+            let g = &self.geometry[id];
+            RectRecord::new(g.rect, g.weight)
+        }));
+        let bound = self.rect_buf.iter().map(|r| r.weight).sum();
+        let tuples = self.scratch.sweep(&self.rect_buf, interval);
         let mut cand: Option<CellCandidate> = None;
-        for t in &tuples {
+        for t in tuples {
             // First strictly-greater tuple: the same selection rule as the
             // final extraction of the batch pipelines.
             if cand.as_ref().is_none_or(|c| t.sum > c.sum) {
@@ -449,7 +457,8 @@ impl StreamEngine {
         cell.bound = bound;
         self.dirty_cols.remove(&col);
         if let Some(c) = &cand {
-            self.clean_best.insert(crate::cells::candidate_key(c, col));
+            self.clean_best
+                .insert(crate::cells::candidate_key(c, col), ());
         }
         cand
     }
@@ -482,18 +491,27 @@ impl StreamEngine {
         // Best clean candidate straight from the incremental index — O(1),
         // no scan of the clean cells.
         stats.cells_cached = stats.cells_total - self.dirty_cols.len();
-        let mut best: Option<(CellCandidate, i64)> = self.clean_best.first().map(|&(_, _, col)| {
-            let c = self.cells[&col]
-                .cached
-                .expect("clean-best entries always have a cached candidate");
-            (c, col)
-        });
+        let mut best: Option<(CellCandidate, i64)> =
+            self.clean_best.first_key_value().map(|(&(_, _, col), ())| {
+                let c = self
+                    .cells
+                    .get(&col)
+                    .expect("clean-best column exists")
+                    .cached
+                    .expect("clean-best entries always have a cached candidate");
+                (c, col)
+            });
         let mut dirty: Vec<(f64, i64)> = self
             .dirty_cols
-            .iter()
-            .map(|&col| (self.cells[&col].bound, col))
+            .keys()
+            .map(|&col| {
+                (
+                    self.cells.get(&col).expect("dirty column exists").bound,
+                    col,
+                )
+            })
             .collect();
-        dirty.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        dirty.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for (i, &(bound, col)) in dirty.iter().enumerate() {
             if let Some((incumbent, _)) = &best {
                 if bound < incumbent.sum {
